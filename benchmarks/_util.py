@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench prints the rows/series of its paper table/figure and also
+writes them to ``benchmarks/results/<name>.txt`` so the numbers survive
+pytest's output capture and can be diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def publish(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")

@@ -1,0 +1,92 @@
+"""Figure 13: HiBench task durations on the testbed topology.
+
+Paper: five HiBench tasks (Aggregation, Join, Pagerank, Terasort,
+Wordcount) on the 27-server leaf-spine testbed with spine ports limited
+to 500 Mbps; flowlet TE enabled.  "DumbNet outperforms conventional
+network in all the tasks.  Flowlet TE plays an important role...  the
+performance becomes much worse in the single-path setting."  Series:
+DumbNet (flowlet TE) < No-op DPDK (kernel ECMP) < DumbNet single path.
+
+Flow-level reproduction: the same task DAGs run under three path
+policies over the fluid simulator -- flowlet-style rebalancing
+(DumbNet), static flow hashing (the conventional-stack ECMP behaviour),
+and a single fixed shortest path (DumbNet without TE).
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.flowsim import (
+    FlowNet,
+    FluidSimulator,
+    HashedKPathPolicy,
+    RebalancingKPathPolicy,
+    SingleShortestPolicy,
+)
+from repro.topology import paper_testbed
+from repro.workloads import HIBENCH_TASKS, hibench_task, run_task
+
+from _util import publish
+
+SPINE_PORT_BPS = 500e6  # "we limit spine switch port speed to 500 Mbps"
+#: Shuffle volume multiplier: sized so network time lands in the tens
+#: of seconds (the paper's 50-250 s durations include compute time,
+#: which a network simulator does not model).
+TASK_SCALE = 4.0
+
+POLICIES = {
+    "DumbNet": lambda: RebalancingKPathPolicy(k=4),
+    "DumbNet Single Path": lambda: SingleShortestPolicy(),
+    "No-op DPDK": lambda: HashedKPathPolicy(k=2, seed=7),
+}
+
+
+def run_matrix():
+    topo = paper_testbed()
+    durations = {}
+    for policy_name, policy_factory in POLICIES.items():
+        for task_name in HIBENCH_TASKS:
+            net = FlowNet(
+                topo,
+                link_bps=10e9,
+                host_bps=10e9,
+                switch_overrides={"spine0": SPINE_PORT_BPS, "spine1": SPINE_PORT_BPS},
+            )
+            sim = FluidSimulator(
+                net, policy_factory(), rebalance_interval_s=0.05
+            )
+            task = hibench_task(task_name, topo.hosts, seed=11, scale=TASK_SCALE)
+            durations[(policy_name, task_name)] = run_task(sim, task)
+    return durations
+
+
+def test_fig13_hibench(benchmark):
+    durations = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    rows = []
+    for task in HIBENCH_TASKS:
+        rows.append(
+            (task,)
+            + tuple(
+                f"{durations[(policy, task)]:.1f}" for policy in POLICIES
+            )
+        )
+    text = render_table(
+        ["Task"] + list(POLICIES),
+        rows,
+        title=(
+            "Figure 13: HiBench-analogue task duration (s), testbed "
+            "topology, 500 Mbps spine ports.\n"
+            "Paper ordering: DumbNet (flowlet TE) fastest, single path slowest."
+        ),
+    )
+    publish("fig13_hibench", text)
+
+    for task in HIBENCH_TASKS:
+        dumbnet = durations[("DumbNet", task)]
+        single = durations[("DumbNet Single Path", task)]
+        ecmp = durations[("No-op DPDK", task)]
+        # DumbNet with flowlet TE beats both alternatives.
+        assert dumbnet <= ecmp * 1.02, f"{task}: TE slower than ECMP"
+        assert dumbnet < single, f"{task}: TE slower than single path"
+        # Single path is the worst configuration.
+        assert single >= ecmp * 0.98, f"{task}: single path beat ECMP"

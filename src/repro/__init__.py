@@ -1,0 +1,54 @@
+"""DumbNet reproduction (EuroSys 2018).
+
+A stateless source-routed data-center fabric: dumb tag-forwarding
+switches, a host-based control plane (discovery, failure handling,
+path-graph caching), extensions (flowlet TE, L3 routing, network
+virtualization), and the emulation + modeling substrates needed to
+regenerate the paper's evaluation.
+
+Quickstart::
+
+    from repro import DumbNetFabric, topology
+
+    fabric = DumbNetFabric(topology.figure1(), controller_host="C3")
+    fabric.bootstrap()
+    fabric.agents["H4"].send_app("H5", b"hello")
+    fabric.run_until_idle()
+"""
+
+from . import topology
+from .core import (
+    AgentConfig,
+    Controller,
+    ControllerConfig,
+    DumbNetFabric,
+    DumbSwitch,
+    HostAgent,
+    OracleProbeTransport,
+    PathGraph,
+    PathTable,
+    PathVerifier,
+    TopoCache,
+    build_path_graph,
+    discover,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "topology",
+    "DumbNetFabric",
+    "DumbSwitch",
+    "HostAgent",
+    "Controller",
+    "AgentConfig",
+    "ControllerConfig",
+    "PathGraph",
+    "build_path_graph",
+    "PathTable",
+    "TopoCache",
+    "PathVerifier",
+    "discover",
+    "OracleProbeTransport",
+    "__version__",
+]

@@ -1,0 +1,83 @@
+"""Empirical distribution helpers for the evaluation figures.
+
+Figures 10 and 11(a) are CDFs; these helpers compute them and the
+summary statistics (percentiles, tail fractions) EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+__all__ = ["empirical_cdf", "percentile", "fraction_above", "summarize", "DistSummary"]
+
+
+def empirical_cdf(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Sorted (value, cumulative fraction) points."""
+    if not values:
+        return []
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(v, (i + 1) / n) for i, v in enumerate(ordered)]
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """The p-th percentile (0..100), linear interpolation."""
+    if not values:
+        raise ValueError("percentile of empty data")
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100) * (len(ordered) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi or ordered[lo] == ordered[hi]:
+        # The equality guard also avoids subnormal underflow: splitting
+        # a denormal across the two interpolation terms rounds to 0.
+        return ordered[lo]
+    frac = rank - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+def fraction_above(values: Sequence[float], threshold: float) -> float:
+    """What fraction of samples exceed a threshold (tail mass)."""
+    if not values:
+        return 0.0
+    return sum(1 for v in values if v > threshold) / len(values)
+
+
+class DistSummary:
+    """Printable summary of one distribution."""
+
+    def __init__(self, values: Sequence[float], unit: str = "") -> None:
+        if not values:
+            raise ValueError("cannot summarize empty data")
+        self.n = len(values)
+        self.unit = unit
+        self.mean = sum(values) / self.n
+        self.p50 = percentile(values, 50)
+        self.p90 = percentile(values, 90)
+        self.p99 = percentile(values, 99)
+        self.max = max(values)
+        self.min = min(values)
+
+    def row(self) -> List[str]:
+        return [
+            f"{self.p50:.4g}",
+            f"{self.p90:.4g}",
+            f"{self.p99:.4g}",
+            f"{self.max:.4g}",
+        ]
+
+    def __str__(self) -> str:
+        u = f" {self.unit}" if self.unit else ""
+        return (
+            f"n={self.n} p50={self.p50:.4g}{u} p90={self.p90:.4g}{u} "
+            f"p99={self.p99:.4g}{u} max={self.max:.4g}{u}"
+        )
+
+
+def summarize(values: Sequence[float], unit: str = "") -> DistSummary:
+    return DistSummary(values, unit=unit)

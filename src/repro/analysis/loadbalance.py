@@ -1,0 +1,74 @@
+"""Load-balance metrics for traffic-engineering experiments.
+
+Figure 13's mechanism is "more evenly distributed traffic, therefore
+reduces the likelihood of link congestion" -- these metrics quantify
+"evenly": Jain's fairness index over link loads, the max/mean hot-spot
+ratio, and per-link utilization extraction from fluid-simulator flows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Sequence, Tuple
+
+__all__ = [
+    "jain_index",
+    "hotspot_ratio",
+    "link_loads_from_flows",
+    "utilization_table",
+]
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: 1 = perfectly even, 1/n = one hot spot."""
+    if not values:
+        raise ValueError("Jain index of no values")
+    total = sum(values)
+    if total == 0:
+        return 1.0
+    squares = sum(v * v for v in values)
+    return (total * total) / (len(values) * squares)
+
+
+def hotspot_ratio(values: Sequence[float]) -> float:
+    """max / mean: 1 = even; large = one link carries the burden."""
+    if not values:
+        raise ValueError("hotspot ratio of no values")
+    mean = sum(values) / len(values)
+    if mean == 0:
+        return 1.0
+    return max(values) / mean
+
+
+def link_loads_from_flows(flows, net) -> Dict[Hashable, float]:
+    """Sum of current flow rates per directed link.
+
+    ``flows`` are fluid-simulator :class:`~repro.flowsim.simulator.Flow`
+    objects; ``net`` the :class:`~repro.flowsim.network.FlowNet`.  Only
+    switch-to-switch transmit links are counted (host NICs excluded:
+    they are not what TE balances).
+    """
+    loads: Dict[Hashable, float] = {}
+    for flow in flows:
+        if flow.switch_path is None or flow.rate_bps <= 0:
+            continue
+        links = net.route_links(flow.src, flow.switch_path, flow.dst)
+        if not links:
+            continue
+        for link in links:
+            if link[0] != "tx":
+                continue
+            loads[link] = loads.get(link, 0.0) + flow.rate_bps
+    return loads
+
+
+def utilization_table(
+    loads: Mapping[Hashable, float], capacities: Mapping[Hashable, float]
+) -> List[Tuple[str, float]]:
+    """(link, utilization) rows sorted hottest-first."""
+    rows = []
+    for link, load in loads.items():
+        cap = capacities.get(link)
+        if cap:
+            rows.append((str(link), load / cap))
+    rows.sort(key=lambda r: r[1], reverse=True)
+    return rows

@@ -1,0 +1,18 @@
+"""Baselines the paper compares against: Ethernet/STP, ECMP, OpenFlow."""
+
+from .stp import Bpdu, L2Frame, L2Host, STP_DEFAULTS, StpBridge
+from .ecmp import EcmpRouter, equal_cost_paths
+from .openflow import FlowRule, FlowTableSwitch, SdnController
+
+__all__ = [
+    "StpBridge",
+    "L2Host",
+    "L2Frame",
+    "Bpdu",
+    "STP_DEFAULTS",
+    "EcmpRouter",
+    "equal_cost_paths",
+    "FlowTableSwitch",
+    "SdnController",
+    "FlowRule",
+]

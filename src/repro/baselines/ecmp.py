@@ -1,0 +1,78 @@
+"""ECMP routing baseline.
+
+Section 4.3 observes that when the path graph grows to cover the whole
+topology, DumbNet's host routing "degenerates to the traditional ECMP".
+This module provides that reference behaviour: enumerate equal-cost
+shortest paths and pick by flow hash, the way switch ECMP hashes the
+5-tuple.  Used by tests (the degenerate-case equivalence) and by the
+traffic-engineering comparisons.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..topology.graph import Topology
+
+__all__ = ["equal_cost_paths", "EcmpRouter"]
+
+
+def equal_cost_paths(
+    topology: Topology, src_switch: str, dst_switch: str, limit: int = 64
+) -> List[List[str]]:
+    """All shortest switch paths between two switches (up to ``limit``).
+
+    BFS layering + DAG walk: classic ECMP path enumeration.
+    """
+    dist = topology.switch_distances(src_switch)
+    if dst_switch not in dist:
+        return []
+    target = dist[dst_switch]
+    # Parents on shortest-path DAG: neighbor at distance d-1.
+    paths: List[List[str]] = []
+
+    def walk(node: str, suffix: List[str]) -> None:
+        if len(paths) >= limit:
+            return
+        if node == src_switch:
+            paths.append([src_switch] + suffix)
+            return
+        for nbr in topology.neighbors(node):
+            if dist.get(nbr) == dist[node] - 1:
+                walk(nbr, [node] + suffix)
+
+    walk(dst_switch, [])
+    return paths
+
+
+class EcmpRouter:
+    """Flow-hashed equal-cost multipath choice over a topology."""
+
+    def __init__(self, topology: Topology, seed: int = 0, limit: int = 64) -> None:
+        self.topology = topology
+        self.seed = seed
+        self.limit = limit
+        self._cache: Dict[Tuple[str, str], List[List[str]]] = {}
+
+    def paths(self, src_switch: str, dst_switch: str) -> List[List[str]]:
+        key = (src_switch, dst_switch)
+        if key not in self._cache:
+            self._cache[key] = equal_cost_paths(
+                self.topology, src_switch, dst_switch, self.limit
+            )
+        return self._cache[key]
+
+    def route(
+        self, src_host: str, dst_host: str, flow_key: Hashable
+    ) -> Optional[List[str]]:
+        src_sw = self.topology.host_port(src_host).switch
+        dst_sw = self.topology.host_port(dst_host).switch
+        choices = self.paths(src_sw, dst_sw)
+        if not choices:
+            return None
+        return choices[hash((self.seed, flow_key)) % len(choices)]
+
+    def invalidate(self) -> None:
+        """Drop the path cache (after any topology change)."""
+        self._cache.clear()

@@ -1,0 +1,172 @@
+"""An OpenFlow-style stateful SDN baseline.
+
+DumbNet's pitch is what it *removes* relative to SDN: flow tables in
+every switch, table-miss round trips to the controller, and the
+distributed state-update problem.  This module provides that
+conventional design over the same emulator so experiments can compare:
+
+* a :class:`FlowTableSwitch` with an exact-match table on destination,
+  a table-miss queue, and counters (the state DumbNet deletes);
+* an :class:`SdnController` that computes shortest paths on a global
+  view and installs per-switch rules along them (one rule per switch
+  per destination -- the forwarding-table scaling problem of Section 1).
+
+The hardware-cost side of the comparison (TCAM/LUT area) lives in
+:mod:`repro.hardware.resources`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..netsim.device import Device
+from ..netsim.events import EventLoop
+from ..topology.graph import HostAttachment, PortRef, Topology
+from .stp import L2Frame
+
+__all__ = ["FlowTableSwitch", "SdnController", "FlowRule"]
+
+#: Rule-installation latency: controller -> switch agent -> table commit.
+RULE_INSTALL_DELAY_S = 500e-6
+#: Table-miss processing (punt to the switch CPU + encapsulation).
+TABLE_MISS_DELAY_S = 50e-6
+
+
+@dataclass(frozen=True)
+class FlowRule:
+    """Exact-match rule: destination MAC -> output port."""
+
+    dst: str
+    out_port: int
+
+
+class FlowTableSwitch(Device):
+    """A stateful switch: forwarding needs an installed rule."""
+
+    def __init__(
+        self,
+        name: str,
+        num_ports: int,
+        loop: EventLoop,
+        controller: Optional["SdnController"] = None,
+        table_capacity: int = 4096,
+    ) -> None:
+        super().__init__(name, loop, proc_delay=1e-6)
+        self.num_ports = num_ports
+        self.controller = controller
+        self.table_capacity = table_capacity
+        self.table: Dict[str, int] = {}
+        self._miss_queue: Dict[str, List[L2Frame]] = {}
+        self.table_hits = 0
+        self.table_misses = 0
+        self.rules_installed = 0
+        self.drops_table_full = 0
+
+    def handle_packet(self, port: int, packet) -> None:
+        if not isinstance(packet, L2Frame):
+            return
+        out = self.table.get(packet.dst)
+        if out is not None:
+            self.table_hits += 1
+            self.send(out, packet)
+            return
+        self.table_misses += 1
+        queue = self._miss_queue.setdefault(packet.dst, [])
+        queue.append(packet)
+        if len(queue) == 1 and self.controller is not None:
+            self.loop.schedule(
+                TABLE_MISS_DELAY_S, self.controller.packet_in, self.name, packet.dst
+            )
+
+    def install_rule(self, rule: FlowRule) -> bool:
+        """Called by the controller (after its install delay)."""
+        if len(self.table) >= self.table_capacity and rule.dst not in self.table:
+            self.drops_table_full += 1
+            return False
+        self.table[rule.dst] = rule.out_port
+        self.rules_installed += 1
+        for frame in self._miss_queue.pop(rule.dst, []):
+            self.send(rule.out_port, frame)
+        return True
+
+    def remove_rules_via(self, port: int) -> int:
+        """Flush rules pointing at a dead port (failure handling)."""
+        stale = [dst for dst, out in self.table.items() if out == port]
+        for dst in stale:
+            del self.table[dst]
+        return len(stale)
+
+    def handle_port_state(self, port: int, up: bool) -> None:
+        if not up:
+            self.remove_rules_via(port)
+            if self.controller is not None:
+                self.controller.port_status(self.name, port, up)
+
+
+class SdnController:
+    """Global-view SDN controller: reactive rule installation.
+
+    This is the architecture DumbNet simplifies away: the controller
+    must push consistent state into *every switch on the path*, and a
+    failure means invalidating rules across the fabric.
+    """
+
+    def __init__(self, topology: Topology, loop: EventLoop) -> None:
+        self.view = topology.copy()
+        self.loop = loop
+        self.switches: Dict[str, FlowTableSwitch] = {}
+        self.packet_ins = 0
+        self.rules_pushed = 0
+
+    def register(self, switch: FlowTableSwitch) -> None:
+        self.switches[switch.name] = switch
+        switch.controller = self
+
+    # ------------------------------------------------------------------
+
+    def packet_in(self, switch_name: str, dst_host: str) -> None:
+        """Table miss: compute the path and install rules along it."""
+        self.packet_ins += 1
+        if not self.view.has_host(dst_host):
+            return
+        dst_ref = self.view.host_port(dst_host)
+        here = switch_name
+        path = self.view.shortest_switch_path(here, dst_ref.switch)
+        if path is None:
+            return
+        # One rule per switch on the path: dst -> next-hop port.
+        for i, switch in enumerate(path):
+            if i + 1 < len(path):
+                links = self.view.links_between(switch, path[i + 1])
+                if not links:
+                    return
+                link = links[0]
+                out = link.a.port if link.a.switch == switch else link.b.port
+            else:
+                out = dst_ref.port
+            self.rules_pushed += 1
+            device = self.switches.get(switch)
+            if device is not None:
+                self.loop.schedule(
+                    RULE_INSTALL_DELAY_S, device.install_rule, FlowRule(dst_host, out)
+                )
+
+    def port_status(self, switch_name: str, port: int, up: bool) -> None:
+        """Failure notification from a switch: patch the view and flush
+        every rule that used the dead link, fabric-wide."""
+        if up:
+            return
+        if not self.view.has_switch(switch_name):
+            return
+        peer = self.view.peer(switch_name, port)
+        if isinstance(peer, PortRef):
+            self.view.remove_link(switch_name, port, peer.switch, peer.port)
+            other = self.switches.get(peer.switch)
+            if other is not None:
+                other.remove_rules_via(peer.port)
+
+    @property
+    def total_rules(self) -> int:
+        """Fabric-wide installed state -- what DumbNet reduces to zero."""
+        return sum(len(s.table) for s in self.switches.values())

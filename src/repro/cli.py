@@ -1,0 +1,237 @@
+"""Command-line tooling: ``repro-dumbnet``.
+
+Operator-facing entry points over the library:
+
+* ``generate``  -- emit a topology blueprint (JSON) from a generator;
+* ``info``      -- structural summary of a blueprint;
+* ``validate``  -- check a blueprint against DumbNet dataplane limits;
+* ``discover``  -- run BFS discovery (or verification bootstrap) against
+  a blueprint used as ground truth, reporting probe counts and time;
+* ``fail``      -- bootstrap an emulated fabric from the blueprint, cut
+  a link, and report the stage-1/stage-2 notification timeline.
+
+All commands read/write ordinary files so they chain in shell scripts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import topology as topo_mod
+from .core.controller import ControllerConfig
+from .core.discovery import (
+    OracleProbeTransport,
+    discover,
+    verify_expected_topology,
+)
+from .core.fabric import DumbNetFabric
+from .topology import Topology, dumps, loads
+from .topology.validation import diameter, validate_for_dumbnet
+
+__all__ = ["main", "build_parser"]
+
+GENERATORS = ("fattree", "leafspine", "cube", "jellyfish", "testbed", "figure1")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dumbnet",
+        description="DumbNet reproduction tooling",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="emit a topology blueprint")
+    gen.add_argument("kind", choices=GENERATORS)
+    gen.add_argument("--k", type=int, default=4, help="fat-tree arity")
+    gen.add_argument("--spines", type=int, default=2)
+    gen.add_argument("--leaves", type=int, default=5)
+    gen.add_argument("--hosts", type=int, default=2, help="hosts per leaf/switch")
+    gen.add_argument("--side", type=int, default=3, help="cube side length")
+    gen.add_argument("--dims", type=int, default=3, help="cube dimensions")
+    gen.add_argument("--switches", type=int, default=12, help="jellyfish size")
+    gen.add_argument("--degree", type=int, default=3, help="jellyfish degree")
+    gen.add_argument("--ports", type=int, default=64)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", default="-", help="file or - for stdout")
+
+    info = sub.add_parser("info", help="summarize a blueprint")
+    info.add_argument("blueprint")
+
+    val = sub.add_parser("validate", help="check DumbNet dataplane limits")
+    val.add_argument("blueprint")
+    val.add_argument("--max-tags", type=int, default=32)
+
+    disc = sub.add_parser("discover", help="run discovery against a blueprint")
+    disc.add_argument("blueprint")
+    disc.add_argument("--origin", help="probing host (default: first host)")
+    disc.add_argument(
+        "--verify",
+        action="store_true",
+        help="verification bootstrap instead of full BFS discovery",
+    )
+
+    fail = sub.add_parser("fail", help="emulate a link failure end to end")
+    fail.add_argument("blueprint")
+    fail.add_argument("link", help="swA:portA:swB:portB")
+    fail.add_argument("--controller", help="controller host (default: first)")
+    return parser
+
+
+def _load_blueprint(path: str) -> Topology:
+    with open(path) as handle:
+        return loads(handle.read())
+
+
+def _emit(text: str, out: str) -> None:
+    if out == "-":
+        sys.stdout.write(text + "\n")
+    else:
+        with open(out, "w") as handle:
+            handle.write(text + "\n")
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "fattree":
+        topo = topo_mod.fat_tree(args.k, num_ports=max(args.ports, args.k))
+    elif args.kind == "leafspine":
+        topo = topo_mod.leaf_spine(
+            args.spines, args.leaves, args.hosts, num_ports=args.ports
+        )
+    elif args.kind == "cube":
+        topo = topo_mod.cube(
+            [args.side] * args.dims,
+            hosts_per_switch=args.hosts,
+            num_ports=args.ports,
+        )
+    elif args.kind == "jellyfish":
+        topo = topo_mod.jellyfish(
+            args.switches,
+            args.degree,
+            hosts_per_switch=args.hosts,
+            seed=args.seed,
+        )
+    elif args.kind == "testbed":
+        topo = topo_mod.paper_testbed()
+    else:
+        topo = topo_mod.figure1()
+    _emit(dumps(topo), args.out)
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    topo = _load_blueprint(args.blueprint)
+    print(topo.summary())
+    print(f"connected: {topo.is_connected()}")
+    if topo.is_connected() and topo.switches:
+        print(f"diameter:  {diameter(topo)} switch hops")
+    degrees = [topo.degree(sw) for sw in topo.switches]
+    if degrees:
+        print(
+            f"degree:    min {min(degrees)}, max {max(degrees)}, "
+            f"mean {sum(degrees) / len(degrees):.1f}"
+        )
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    topo = _load_blueprint(args.blueprint)
+    report = validate_for_dumbnet(topo, max_path_tags=args.max_tags)
+    print(report)
+    return 0 if report.ok else 1
+
+
+def _cmd_discover(args: argparse.Namespace) -> int:
+    topo = _load_blueprint(args.blueprint)
+    if not topo.hosts:
+        print("blueprint has no hosts", file=sys.stderr)
+        return 1
+    origin = args.origin or topo.hosts[0]
+    if not topo.has_host(origin):
+        print(f"unknown origin host {origin!r}", file=sys.stderr)
+        return 1
+    transport = OracleProbeTransport(topo, origin)
+    if args.verify:
+        report = verify_expected_topology(transport, origin, topo)
+        print(
+            f"verification bootstrap from {origin}: "
+            f"{report.confirmed_links} links, {report.confirmed_hosts} hosts "
+            f"confirmed with {report.stats.probes_sent} probes "
+            f"({report.stats.elapsed_s:.3f} s modeled)"
+        )
+        if not report.clean:
+            print(f"missing links: {report.missing_links}")
+            print(f"missing hosts: {report.missing_hosts}")
+            return 1
+        return 0
+    result = discover(transport, origin)
+    stats = result.stats
+    print(
+        f"discovery from {origin}: {result.switches_found} switches, "
+        f"{result.hosts_found} hosts"
+    )
+    print(
+        f"probes {stats.probes_sent}, replies {stats.replies_received}, "
+        f"verification probes {stats.verifications}, "
+        f"ambiguities {stats.ambiguities_resolved}"
+    )
+    print(f"modeled controller time: {stats.elapsed_s:.3f} s")
+    exact = result.view.same_wiring(topo)
+    print(f"matches blueprint: {exact}")
+    return 0 if exact else 1
+
+
+def _cmd_fail(args: argparse.Namespace) -> int:
+    topo = _load_blueprint(args.blueprint)
+    parts = args.link.split(":")
+    if len(parts) != 4:
+        print("link must be swA:portA:swB:portB", file=sys.stderr)
+        return 2
+    sw_a, port_a, sw_b, port_b = parts[0], int(parts[1]), parts[2], int(parts[3])
+    if not topo.has_link(sw_a, port_a, sw_b, port_b):
+        print(f"no such link in blueprint: {args.link}", file=sys.stderr)
+        return 1
+    controller = args.controller or topo.hosts[0]
+    fabric = DumbNetFabric(
+        topo, controller_host=controller, controller_config=ControllerConfig()
+    )
+    fabric.adopt_blueprint()
+    fabric.tracer.clear()
+    start = fabric.now
+    fabric.fail_link(sw_a, port_a, sw_b, port_b)
+    fabric.run_until_idle()
+    news = fabric.tracer.first_time_per_node("news-received")
+    patch = fabric.tracer.first_time_per_node("patch-received")
+    print(f"failure injected on {args.link}")
+    print(
+        f"stage 1 (failure msg):   {len(news)}/{len(topo.hosts)} hosts, "
+        f"max delay {max((t - start) * 1e3 for t in news.values()):.2f} ms"
+        if news
+        else "stage 1: no host informed"
+    )
+    print(
+        f"stage 2 (topology patch): {len(patch)} hosts, "
+        f"max delay {max((t - start) * 1e3 for t in patch.values()):.2f} ms"
+        if patch
+        else "stage 2: no patch delivered"
+    )
+    removed = not fabric.controller.view.has_link(sw_a, port_a, sw_b, port_b)
+    print(f"controller view updated: {removed}")
+    return 0 if removed else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "info": _cmd_info,
+        "validate": _cmd_validate,
+        "discover": _cmd_discover,
+        "fail": _cmd_fail,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,14 @@
+"""Quorum replication substrate (the paper's ZooKeeper role)."""
+
+from .log import Cluster, LogEntry, NotLeaderError, QuorumLostError, ReplicaNode
+from .store import ReplicatedTopologyStore, apply_change
+
+__all__ = [
+    "Cluster",
+    "ReplicaNode",
+    "LogEntry",
+    "NotLeaderError",
+    "QuorumLostError",
+    "ReplicatedTopologyStore",
+    "apply_change",
+]

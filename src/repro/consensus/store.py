@@ -1,0 +1,99 @@
+"""Replicated topology store: controller fault tolerance (Section 4.2).
+
+"We use replication to tolerate controller failures.  The controller
+replicas use Apache ZooKeeper to keep a consistency view of the network
+topology and serve host requests in the same way."
+
+:class:`ReplicatedTopologyStore` wires the quorum log to topology
+semantics: the primary controller appends
+:class:`~repro.core.messages.TopologyChange` records; every replica
+applies committed records to its own :class:`~repro.topology.Topology`
+copy.  When the primary dies, any replica can be promoted and its view
+is guaranteed to contain every change the old primary ever exposed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.messages import TopologyChange
+from ..topology.graph import PortRef, Topology
+from .log import Cluster, NotLeaderError, QuorumLostError
+
+__all__ = ["ReplicatedTopologyStore", "apply_change"]
+
+
+def apply_change(view: Topology, change: TopologyChange) -> None:
+    """Apply one committed topology change to a replica's view."""
+    if change.op == "link-down":
+        sw_a, port_a, sw_b, port_b = change.args
+        if view.has_link(sw_a, port_a, sw_b, port_b):
+            view.remove_link(sw_a, port_a, sw_b, port_b)
+    elif change.op == "link-up":
+        sw_a, port_a, sw_b, port_b = change.args
+        if not view.has_switch(sw_a) or not view.has_switch(sw_b):
+            return
+        if view.peer(sw_a, port_a) is None and view.peer(sw_b, port_b) is None:
+            view.add_link(sw_a, port_a, sw_b, port_b)
+    elif change.op == "switch-down":
+        (switch,) = change.args
+        if view.has_switch(switch):
+            view.remove_switch(switch)
+    elif change.op == "host-up":
+        host, switch, port = change.args
+        if view.has_switch(switch) and not view.has_host(host):
+            if view.peer(switch, port) is None:
+                view.add_host(host, switch, port)
+    elif change.op == "host-down":
+        (host,) = change.args
+        if view.has_host(host):
+            view.remove_host(host)
+    # "adopt-view" entries are markers; the bulk view is seeded directly.
+
+
+class ReplicatedTopologyStore:
+    """The quorum log specialized to topology views."""
+
+    def __init__(self, replica_names: Sequence[str], initial_view: Topology) -> None:
+        self.views: Dict[str, Topology] = {
+            name: initial_view.copy() for name in replica_names
+        }
+
+        def apply_factory(name: str):
+            view = self.views[name]
+
+            def apply_fn(payload: Any) -> None:
+                if isinstance(payload, TopologyChange):
+                    apply_change(view, payload)
+
+            return apply_fn
+
+        self.cluster = Cluster(replica_names, apply_factory=apply_factory)
+        self.cluster.elect_any()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def primary(self) -> Optional[str]:
+        return self.cluster.leader
+
+    def append(self, change: TopologyChange) -> None:
+        """Record one change; raises if no quorum (change not exposed)."""
+        self.cluster.append(change)
+
+    def view_of(self, replica: str) -> Topology:
+        return self.views[replica]
+
+    def fail_primary(self) -> Optional[str]:
+        """Crash the current primary and promote a replacement."""
+        if self.cluster.leader is not None:
+            self.cluster.nodes[self.cluster.leader].crash()
+            self.cluster.leader = None
+        return self.cluster.elect_any()
+
+    def recover(self, replica: str) -> None:
+        self.cluster.nodes[replica].recover()
+        leader = self.cluster.leader
+        if leader is not None:
+            # Catch the returning replica up.
+            self.cluster._replicate(leader)

@@ -1,0 +1,493 @@
+"""The DumbNet controller (Sections 3.1, 4).
+
+The controller is an ordinary host that additionally:
+
+* runs the discovery service and owns the authoritative topology view;
+* announces itself to every host after bootstrap (hosts "probe until
+  they learn the location of the controller" in the paper; announcing
+  is the same handshake initiated from the other side and costs one
+  message per host);
+* answers path queries with path graphs (Section 4.3);
+* implements failure-handling stage 2: absorb failure news from the
+  host flood, patch the master view, and flood a topology patch;
+* re-probes ports when links come back up, discovering new hardware;
+* replicates every view change to its replicas through a quorum log
+  (the paper uses ZooKeeper; :mod:`repro.consensus` plays that role).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..netsim.events import EventLoop
+from ..netsim.network import Network
+from ..topology.graph import HostAttachment, PortRef, Topology
+from .discovery import (
+    DiscoveryResult,
+    ProbeSpec,
+    discover,
+    route_tags,
+)
+from .host_agent import AgentConfig, EmulatedProbeTransport, HostAgent
+from .messages import (
+    ControllerAnnounce,
+    PathReply,
+    PathRequest,
+    PortStateNotification,
+    TopologyChange,
+    TopologyPatch,
+)
+from .packet import ID_QUERY
+from .pathgraph import build_path_graph
+
+__all__ = ["Controller", "ControllerConfig"]
+
+#: How long a link-up reprobe waits for its probe replies before it
+#: finalizes, seconds.
+REPROBE_SETTLE_S = 0.02
+
+
+@dataclass
+class ControllerConfig(AgentConfig):
+    """Controller tunables on top of the agent ones."""
+
+    #: Per-host cap on gossip fan-out (same-switch hosts come first).
+    gossip_fanout: int = 8
+    #: Disjoint routes per gossip edge.  2 keeps the flood connected
+    #: under any single link failure (the failure being reported may sit
+    #: on a gossip route); 1 is the naive ablation.
+    gossip_route_redundancy: int = 2
+    #: Stage-2 processing delay before the patch flood starts: the paper
+    #: measures patches arriving a few ms after the failure news.
+    patch_delay_s: float = 1e-3
+
+
+class Controller(HostAgent):
+    """A host agent that also runs the control plane."""
+
+    def __init__(
+        self,
+        name: str,
+        loop: EventLoop,
+        tracer=None,
+        config: Optional[ControllerConfig] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        super().__init__(
+            name,
+            loop,
+            tracer=tracer,
+            config=config or ControllerConfig(),
+            rng=rng,
+            is_controller=True,
+        )
+        #: The authoritative network view.
+        self.view: Optional[Topology] = None
+        self.view_version = 0
+        #: Optional replication hook: an object with append(entry).
+        self.replicator = None
+        #: Pending link-up reprobe sessions.
+        self._reprobes: Dict[Tuple[str, int], "_ReprobeSession"] = {}
+        # Statistics.
+        self.path_requests_served = 0
+        self.patches_flooded = 0
+        self.reprobes_run = 0
+
+    # ------------------------------------------------------------------
+    # bootstrap
+
+    def run_discovery(self, network: Network) -> DiscoveryResult:
+        """Discover the fabric by probing through the live emulator.
+
+        Must be called from outside the event loop (bootstrap time).
+        """
+        transport = EmulatedProbeTransport(self, network)
+        result = discover(transport, self.name)
+        self.adopt_view(result.view, attachment=result.origin_attachment)
+        return result
+
+    def adopt_view(
+        self, view: Topology, attachment: Optional[Tuple[str, int]] = None
+    ) -> None:
+        """Install a topology view (from discovery or from a blueprint)."""
+        self.view = view
+        self.view_version += 1
+        if attachment is None:
+            ref = view.host_port(self.name)
+            attachment = (ref.switch, ref.port)
+        self.attachment = attachment
+        self.controller = self.name
+        self.tags_to_controller = ()
+        self.topo_cache.record_attachment(self.name, attachment[0], attachment[1])
+        self._log_change(TopologyChange(op="adopt-view", args=(self.view_version,)))
+
+    def announce_all(self) -> int:
+        """Send a :class:`ControllerAnnounce` to every known host.
+
+        Returns the number of hosts announced to.  The caller should run
+        the event loop afterwards to let the announcements deliver.
+        """
+        if self.view is None:
+            raise RuntimeError("announce_all before discovery")
+        overlay = self.compute_gossip_overlay()
+        self.gossip_neighbors = dict(overlay.get(self.name, ()))
+        count = 0
+        for host in self.view.hosts:
+            if host == self.name:
+                continue
+            tags_out = self._tags_between(self.name, host)
+            tags_back = self._tags_between(host, self.name)
+            if tags_out is None or tags_back is None:
+                continue
+            ref = self.view.host_port(host)
+            announce = ControllerAnnounce(
+                controller=self.name,
+                tags_to_controller=tags_back,
+                your_attachment=(ref.switch, ref.port),
+                gossip_neighbors=overlay.get(host, ()),
+            )
+            self.send_tagged(tags_out, announce, dst=host)
+            count += 1
+        return count
+
+    def bootstrap(self, network: Network) -> DiscoveryResult:
+        """Discovery + announcements + loop drain: ready-to-run fabric."""
+        result = self.run_discovery(network)
+        self.announce_all()
+        network.run_until_idle()
+        return result
+
+    def compute_gossip_overlay(
+        self,
+    ) -> Dict[str, Tuple[Tuple[str, Tuple[int, ...]], ...]]:
+        """Per-host gossip neighbor lists (Section 4.2 stage 1).
+
+        Every host floods to all hosts on its own switch plus one host
+        on each of the *nearest host-bearing* switches -- the paper says
+        "the message starts from the hosts on the same switch, then goes
+        to hosts on the neighboring switches".  Directly-adjacent
+        switches may carry no hosts at all (spine switches in a
+        leaf-spine fabric), so the search walks outward by BFS until it
+        has found enough populated switches; otherwise the overlay would
+        disconnect at the spine layer and stage-2 patches could never
+        cross leaves.  Capped at ``gossip_fanout`` entries; the
+        controller is always included.
+        """
+        assert self.view is not None
+        view = self.view
+        all_hosts = sorted(view.hosts)
+        index_of = {h: i for i, h in enumerate(all_hosts)}
+        overlay: Dict[str, Tuple[Tuple[str, Tuple[int, ...]], ...]] = {}
+        for host in view.hosts:
+            my_switch = view.host_port(host).switch
+            candidates: List[str] = []
+            # Ring successors first: a global ring over the sorted host
+            # list guarantees the flood covers every host no matter how
+            # the fan-out cap trims the locality picks below.
+            if len(all_hosts) > 1:
+                i = index_of[host]
+                candidates.append(all_hosts[(i + 1) % len(all_hosts)])
+                if len(all_hosts) > 2:
+                    candidates.append(all_hosts[(i + 2) % len(all_hosts)])
+            # Then hosts on my own switch, rotated by my position so a
+            # trimmed list still chains across the whole switch.
+            same = [h for h in view.hosts_on(my_switch) if h != host]
+            if same:
+                rot = index_of[host] % len(same)
+                candidates.extend(same[rot:] + same[:rot])
+            # Then one or two hosts on each of the nearest populated
+            # switches, found by BFS (directly-adjacent switches may be
+            # host-less spines).
+            populated_found = 0
+            seen_switches = {my_switch}
+            frontier = [my_switch]
+            while frontier and populated_found < self.config.gossip_fanout:  # type: ignore[attr-defined]
+                nxt: List[str] = []
+                for switch in frontier:
+                    for neighbor_switch in view.neighbors(switch):
+                        if neighbor_switch in seen_switches:
+                            continue
+                        seen_switches.add(neighbor_switch)
+                        nxt.append(neighbor_switch)
+                        hosts_there = view.hosts_on(neighbor_switch)
+                        if hosts_there:
+                            populated_found += 1
+                            candidates.append(hosts_there[0])
+                            if len(hosts_there) > 1:
+                                candidates.append(hosts_there[-1])
+                frontier = nxt
+            # The controller always makes the list: stage 2 depends on
+            # the flood reaching it.
+            if self.name not in candidates and host != self.name:
+                candidates.append(self.name)
+            trimmed: List[Tuple[str, Tuple[Tuple[int, ...], ...]]] = []
+            seen: Set[str] = set()
+            for peer in candidates:
+                if peer in seen or peer == host:
+                    continue
+                seen.add(peer)
+                routes = self._routes_between(host, peer)
+                if routes:
+                    trimmed.append((peer, routes))
+                if len(trimmed) >= self.config.gossip_fanout:  # type: ignore[attr-defined]
+                    break
+            overlay[host] = tuple(trimmed)
+        return overlay
+
+    def _tags_between(self, src_host: str, dst_host: str) -> Optional[Tuple[int, ...]]:
+        assert self.view is not None
+        view = self.view
+        if not (view.has_host(src_host) and view.has_host(dst_host)):
+            return None
+        src_sw = view.host_port(src_host).switch
+        dst_sw = view.host_port(dst_host).switch
+        path = view.shortest_switch_path(src_sw, dst_sw)
+        if path is None:
+            return None
+        return tuple(view.encode_path(src_host, path, dst_host))
+
+    def _routes_between(
+        self, src_host: str, dst_host: str
+    ) -> Tuple[Tuple[int, ...], ...]:
+        """Up to two link-disjoint tag routes between two hosts.
+
+        Gossip edges carry failure news, so a single-route edge would be
+        severed by exactly the failures it must report; sending each
+        flood message on two disjoint routes keeps the overlay connected
+        under any single link failure (duplicates are deduplicated by
+        the receivers anyway).
+        """
+        assert self.view is not None
+        view = self.view
+        if not (view.has_host(src_host) and view.has_host(dst_host)):
+            return ()
+        src_sw = view.host_port(src_host).switch
+        dst_sw = view.host_port(dst_host).switch
+        primary = view.shortest_switch_path(src_sw, dst_sw)
+        if primary is None:
+            return ()
+        routes = [tuple(view.encode_path(src_host, primary, dst_host))]
+        if getattr(self.config, "gossip_route_redundancy", 2) >= 2:
+            costs = {}
+            for here, there in zip(primary, primary[1:]):
+                for link in view.links_between(here, there):
+                    costs[link.key()] = 1000.0
+            backup = view.shortest_switch_path(src_sw, dst_sw, link_costs=costs)
+            if backup is not None and backup != primary:
+                routes.append(tuple(view.encode_path(src_host, backup, dst_host)))
+        return tuple(routes)
+
+    # ------------------------------------------------------------------
+    # path queries (Section 4.3)
+
+    def handle_path_request(self, request: PathRequest) -> None:
+        if self.view is None:
+            return
+        self.path_requests_served += 1
+        view = self.view
+        found = view.has_host(request.src) and view.has_host(request.dst)
+        edges: Tuple[Tuple[str, int, str, int], ...] = ()
+        src_att = dst_att = None
+        if found:
+            src_ref = view.host_port(request.src)
+            dst_ref = view.host_port(request.dst)
+            src_att = (src_ref.switch, src_ref.port)
+            dst_att = (dst_ref.switch, dst_ref.port)
+            graph = build_path_graph(
+                view,
+                src_ref.switch,
+                dst_ref.switch,
+                s=self.config.path_graph_s,
+                epsilon=self.config.path_graph_epsilon,
+                rng=self.rng,
+            )
+            if graph is None:
+                found = False
+            else:
+                edges = graph.edges
+        reply = PathReply(
+            nonce=request.nonce,
+            src=request.src,
+            dst=request.dst,
+            found=found,
+            src_attachment=src_att,
+            dst_attachment=dst_att,
+            edges=edges,
+            version=self.view_version,
+        )
+        tags_out = self._tags_between(self.name, request.src)
+        if tags_out is not None:
+            self.send_tagged(tags_out, reply, dst=request.src)
+
+    # ------------------------------------------------------------------
+    # failure handling, stage 2 (Section 4.2)
+
+    def on_news(self, note: PortStateNotification) -> None:
+        if self.view is None:
+            return
+        if note.up:
+            self.loop.schedule(0.0, self._start_reprobe, note.switch, note.port)
+            return
+        if not self.view.has_switch(note.switch):
+            return
+        peer = self.view.peer(note.switch, note.port)
+        if peer is None or not isinstance(peer, PortRef):
+            return  # host-facing port or already-removed link
+        self.view.remove_link(note.switch, note.port, peer.switch, peer.port)
+        self.view_version += 1
+        change = TopologyChange(
+            op="link-down", args=(note.switch, note.port, peer.switch, peer.port)
+        )
+        self._log_change(change)
+        self.loop.schedule(
+            self.config.patch_delay_s, self._flood_patch, (change,), self.view_version  # type: ignore[attr-defined]
+        )
+
+    def _flood_patch(self, changes: Tuple[TopologyChange, ...], version: int) -> None:
+        patch = TopologyPatch(version=version, changes=changes, origin=self.name)
+        self.patches_flooded += 1
+        if self.tracer is not None:
+            self.tracer.record(self.loop.now, "patch-flooded", self.name, patch)
+        # Mark as seen so our own relay logic does not reprocess it,
+        # then push it into the gossip overlay.
+        self._seen_patches.add((patch.origin, patch.version))
+        for neighbor, routes in self.gossip_neighbors.items():
+            for tags in routes:
+                self.send_tagged(tags, patch, dst=neighbor)
+
+    def _log_change(self, change: TopologyChange) -> None:
+        if self.replicator is not None:
+            self.replicator.append(change)
+
+    # ------------------------------------------------------------------
+    # link-up reprobing (Section 4.2: "upon receiving link-up
+    # notifications, the controller will probe the ports to discover and
+    # verify the newly added links and switches")
+
+    def _start_reprobe(self, switch: str, port: int) -> None:
+        if self.view is None or not self.view.has_switch(switch):
+            return
+        if (switch, port) in self._reprobes:
+            return
+        if self.view.peer(switch, port) is not None:
+            return  # view already has something there
+        try:
+            to_tags, from_tags = route_tags(self.view, self.name, switch)
+        except Exception:
+            return
+        session = _ReprobeSession(switch=switch, port=port)
+        self._reprobes[(switch, port)] = session
+        self.reprobes_run += 1
+        max_ports = self.view.num_ports(switch)
+        # Host probe plus bounce probes for every candidate return port.
+        session.host_nonce = self.send_probe(
+            ProbeSpec(tags=to_tags + (port,), reply_tags=from_tags)
+        )
+        for r in range(1, max_ports + 1):
+            nonce = self.send_probe(
+                ProbeSpec(tags=to_tags + (port, ID_QUERY, r) + from_tags)
+            )
+            session.bounce_nonces[nonce] = r
+        self.loop.schedule(REPROBE_SETTLE_S, self._finish_reprobe_stage1, switch, port)
+
+    def _finish_reprobe_stage1(self, switch: str, port: int) -> None:
+        session = self._reprobes.get((switch, port))
+        if session is None or self.view is None:
+            return
+        host_outcome = self.collect_probe(session.host_nonce)
+        if host_outcome is not None and host_outcome.kind == "host":
+            self._finalize_reprobe(switch, port, host=host_outcome.host)
+            return
+        candidates: List[Tuple[int, str]] = []
+        for nonce, r in session.bounce_nonces.items():
+            outcome = self.collect_probe(nonce)
+            if outcome is not None and outcome.kind == "id" and outcome.switch_id:
+                candidates.append((r, outcome.switch_id))
+        if not candidates:
+            self._finalize_reprobe(switch, port, host=None)
+            return
+        # Verification probes distinguish real back-ports from
+        # coincidental multi-hop returns, exactly as in full discovery.
+        try:
+            to_tags, from_tags = route_tags(self.view, self.name, switch)
+        except Exception:
+            self._finalize_reprobe(switch, port, host=None)
+            return
+        for r, neighbor in candidates:
+            nonce = self.send_probe(
+                ProbeSpec(tags=to_tags + (port, r, ID_QUERY) + from_tags)
+            )
+            session.verify_nonces[nonce] = (r, neighbor)
+        self.loop.schedule(REPROBE_SETTLE_S, self._finish_reprobe_stage2, switch, port)
+
+    def _finish_reprobe_stage2(self, switch: str, port: int) -> None:
+        session = self._reprobes.get((switch, port))
+        if session is None or self.view is None:
+            return
+        confirmed: Optional[Tuple[int, str]] = None
+        for nonce, (r, neighbor) in session.verify_nonces.items():
+            outcome = self.collect_probe(nonce)
+            if (
+                confirmed is None
+                and outcome is not None
+                and outcome.kind == "id"
+                and outcome.switch_id == switch
+            ):
+                confirmed = (r, neighbor)
+        if confirmed is None:
+            self._finalize_reprobe(switch, port, host=None)
+            return
+        r, neighbor = confirmed
+        if not self.view.has_switch(neighbor):
+            # A brand-new switch appeared: give it the fabric-wide port
+            # count and let future reprobes flesh out its other links.
+            self.view.add_switch(neighbor, self.view.num_ports(switch))
+        if self.view.peer(switch, port) is None and self.view.peer(neighbor, r) is None:
+            self.view.add_link(switch, port, neighbor, r)
+            self.view_version += 1
+            change = TopologyChange(op="link-up", args=(switch, port, neighbor, r))
+            self._log_change(change)
+            self._flood_patch((change,), self.view_version)
+        self._finalize_reprobe(switch, port, host=None, keep_link=True)
+
+    def _finalize_reprobe(
+        self, switch: str, port: int, host: Optional[str], keep_link: bool = False
+    ) -> None:
+        self._reprobes.pop((switch, port), None)
+        if host is not None and self.view is not None:
+            if not self.view.has_host(host) and self.view.peer(switch, port) is None:
+                self.view.add_host(host, switch, port)
+                self.view_version += 1
+                self._log_change(
+                    TopologyChange(op="host-up", args=(host, switch, port))
+                )
+                self._welcome_host(host)
+
+    def _welcome_host(self, host: str) -> None:
+        """Announce ourselves to a newly discovered host so it can
+        query paths and participate in the gossip overlay."""
+        assert self.view is not None
+        tags_out = self._tags_between(self.name, host)
+        tags_back = self._tags_between(host, self.name)
+        if tags_out is None or tags_back is None:
+            return
+        overlay = self.compute_gossip_overlay()
+        ref = self.view.host_port(host)
+        announce = ControllerAnnounce(
+            controller=self.name,
+            tags_to_controller=tags_back,
+            your_attachment=(ref.switch, ref.port),
+            gossip_neighbors=overlay.get(host, ()),
+        )
+        self.send_tagged(tags_out, announce, dst=host)
+
+
+@dataclass
+class _ReprobeSession:
+    switch: str
+    port: int
+    host_nonce: int = -1
+    bounce_nonces: Dict[int, int] = field(default_factory=dict)
+    verify_nonces: Dict[int, Tuple[int, str]] = field(default_factory=dict)

@@ -1,0 +1,144 @@
+"""ECN marking and congestion-aware rerouting.
+
+The paper's future-work list (Sections 6.2 and 8): "we are implementing
+other typical traffic engineering approaches... such as
+congestion-avoiding rerouting using early congestion notification
+(ECN)", and "we are adding mechanisms for packet statistics and ECN
+support to the switch.  Note that these mechanisms either require no
+state, or only soft state, keeping the switches dumb."
+
+Two pieces, exactly along that line:
+
+* :class:`EcnSwitch` -- a :class:`~repro.core.switch.DumbSwitch` whose
+  egress stage sets a congestion-experienced bit when the output line's
+  backlog exceeds a threshold.  The backlog is read off the channel's
+  transmit horizon: physical state the port already has, not a table.
+* :class:`EcnRerouter` -- a host-side routing function that counts
+  marked deliveries per path and steers *new flowlets* away from paths
+  whose recent mark rate is high.  All the state lives on the host,
+  per the DumbNet split.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from ..netsim.events import EventLoop
+from .host_agent import HostAgent
+from .packet import Packet
+from .pathcache import CachedPath
+from .switch import DumbSwitch
+
+__all__ = ["EcnSwitch", "EcnRerouter", "install_ecn_rerouting"]
+
+#: Mark when the egress line is this many seconds behind (the fluid
+#: equivalent of a queue-depth threshold; ~17 KB at 10 GbE).
+DEFAULT_MARK_HORIZON_S = 14e-6
+
+
+class EcnSwitch(DumbSwitch):
+    """A dumb switch with ECN marking at egress.
+
+    The only addition to the forwarding path: before transmitting, read
+    how far ahead the output channel's transmit horizon is and set
+    ``packet.ecn_marked`` when it exceeds the threshold.  No per-flow or
+    per-destination state -- the "queue depth" is the channel's own
+    physical backlog.
+    """
+
+    def __init__(self, *args, mark_horizon_s: float = DEFAULT_MARK_HORIZON_S, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.mark_horizon_s = mark_horizon_s
+        self.packets_marked = 0
+
+    def send(self, port: int, packet, size_bits: Optional[float] = None) -> bool:
+        end = self.ports.get(port)
+        if (
+            end is not None
+            and isinstance(packet, Packet)
+            and end.busy_until - self.loop.now > self.mark_horizon_s
+        ):
+            if not getattr(packet, "ecn_marked", False):
+                packet.ecn_marked = True
+                self.packets_marked += 1
+        return super().send(port, packet, size_bits=size_bits)
+
+
+class EcnRerouter:
+    """Host-side congestion-avoiding rerouting (Section 6.2 extension).
+
+    A routing function that tracks, per cached path, the fraction of
+    recently delivered packets that arrived ECN-marked (the receiver
+    echoes marks back to the sender out of band here; a TCP deployment
+    would use ECE).  New flowlets avoid paths whose mark rate exceeds
+    the threshold when a cleaner alternative exists.
+    """
+
+    def __init__(
+        self,
+        agent: HostAgent,
+        window: int = 64,
+        mark_threshold: float = 0.3,
+    ) -> None:
+        self.agent = agent
+        self.window = window
+        self.mark_threshold = mark_threshold
+        #: Recent mark bits per path signature (the tag tuple).
+        self._history: Dict[Tuple[int, ...], Deque[bool]] = {}
+        #: Sticky flow -> path binding, rebound when marks accumulate.
+        self._bindings: Dict[object, Tuple[int, ...]] = {}
+        self.reroutes = 0
+
+    # ------------------------------------------------------------------
+    # feedback path
+
+    def record_delivery(self, tags: Tuple[int, ...], marked: bool) -> None:
+        """Feed back one delivered packet's mark bit for its path."""
+        history = self._history.setdefault(tags, deque(maxlen=self.window))
+        history.append(marked)
+
+    def mark_rate(self, tags: Tuple[int, ...]) -> float:
+        history = self._history.get(tags)
+        if not history:
+            return 0.0
+        return sum(history) / len(history)
+
+    # ------------------------------------------------------------------
+    # routing function interface
+
+    def __call__(
+        self, agent: HostAgent, dst: str, flow_key: object
+    ) -> Optional[CachedPath]:
+        entry = agent.path_table.entry(dst)
+        if entry is None or not entry.primaries:
+            return None
+        paths = entry.primaries
+        bound = self._bindings.get(flow_key)
+        current = next((p for p in paths if p.tags == bound), None)
+        if current is not None and self.mark_rate(current.tags) <= self.mark_threshold:
+            return current
+        # Pick the path with the lowest recent mark rate; ties keep the
+        # first (shortest) candidate.
+        best = min(paths, key=lambda p: self.mark_rate(p.tags))
+        if current is not None and best.tags != current.tags:
+            self.reroutes += 1
+        self._bindings[flow_key] = best.tags
+        return best
+
+
+def install_ecn_rerouting(
+    agent: HostAgent,
+    window: int = 64,
+    mark_threshold: float = 0.3,
+) -> EcnRerouter:
+    """Attach congestion-aware routing to an agent; returns the router.
+
+    Also hooks the agent's delivery path so that received packets'
+    mark bits feed the sender-side statistics of the *paired* rerouter
+    on the remote host when the application echoes them; local feedback
+    must be wired by the caller via :meth:`EcnRerouter.record_delivery`.
+    """
+    router = EcnRerouter(agent, window=window, mark_threshold=mark_threshold)
+    agent.routing_function = router
+    return router

@@ -1,0 +1,195 @@
+"""Convenience assembly of a full DumbNet fabric.
+
+:class:`DumbNetFabric` wires a :class:`~repro.topology.Topology` into a
+live emulated network of :class:`~repro.core.switch.DumbSwitch` devices
+and :class:`~repro.core.host_agent.HostAgent` hosts, one of which is the
+:class:`~repro.core.controller.Controller`, and bootstraps the whole
+thing: discovery, announcements, and optional warm path caches.
+
+This is the primary public API: examples and benchmarks build fabrics
+through it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..netsim.device import Device
+from ..netsim.network import LinkSpec, Network
+from ..netsim.trace import Tracer
+from ..topology.graph import Topology
+from .controller import Controller, ControllerConfig
+from .discovery import DiscoveryResult
+from .host_agent import AgentConfig, HostAgent
+from .switch import DumbSwitch
+
+__all__ = ["DumbNetFabric"]
+
+
+class DumbNetFabric:
+    """A ready-to-run emulated DumbNet deployment."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        controller_host: Optional[str] = None,
+        agent_config: Optional[AgentConfig] = None,
+        controller_config: Optional[ControllerConfig] = None,
+        link_spec: Optional[LinkSpec] = None,
+        host_link_spec: Optional[LinkSpec] = None,
+        seed: int = 0,
+        tracer: Optional[Tracer] = None,
+        notify_script_delay_s: float = 0.0,
+        switch_cls: Optional[type] = None,
+    ) -> None:
+        """``switch_cls`` swaps the switch implementation (default
+        :class:`~repro.core.switch.DumbSwitch`); any subclass with the
+        same constructor works, e.g. :class:`~repro.core.ecn.EcnSwitch`.
+        """
+        if not topology.hosts:
+            raise ValueError("a DumbNet fabric needs at least one host")
+        self.topology = topology
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.agent_config = agent_config or AgentConfig()
+        self.controller_config = controller_config or ControllerConfig(
+            proc_delay_s=self.agent_config.proc_delay_s
+        )
+        self.controller_host = controller_host or topology.hosts[0]
+        if not topology.has_host(self.controller_host):
+            raise ValueError(f"controller host {self.controller_host!r} not in topology")
+        self._rng = random.Random(seed)
+        self.agents: Dict[str, HostAgent] = {}
+        self.controller: Optional[Controller] = None
+
+        switch_type = switch_cls or DumbSwitch
+
+        def make_switch(name: str, num_ports: int, network: Network) -> Device:
+            return switch_type(
+                name,
+                num_ports,
+                network.loop,
+                tracer=self.tracer,
+                notify_script_delay_s=notify_script_delay_s,
+            )
+
+        def make_host(name: str, network: Network) -> Device:
+            rng = random.Random(self._rng.randrange(2**31))
+            if name == self.controller_host:
+                agent: HostAgent = Controller(
+                    name,
+                    network.loop,
+                    tracer=self.tracer,
+                    config=self.controller_config,
+                    rng=rng,
+                )
+                self.controller = agent  # type: ignore[assignment]
+            else:
+                agent = HostAgent(
+                    name,
+                    network.loop,
+                    tracer=self.tracer,
+                    config=self.agent_config,
+                    rng=rng,
+                )
+            self.agents[name] = agent
+            return agent
+
+        self.network = Network(
+            topology,
+            switch_factory=make_switch,
+            host_factory=make_host,
+            link_spec=link_spec,
+            host_link_spec=host_link_spec,
+            seed=seed,
+            tracer=self.tracer,
+        )
+
+    # ------------------------------------------------------------------
+
+    def bootstrap(self) -> DiscoveryResult:
+        """Run discovery + controller announcements; fabric is then live."""
+        assert self.controller is not None
+        return self.controller.bootstrap(self.network)
+
+    def adopt_blueprint(self) -> None:
+        """Skip probing: install the ground-truth topology as the view.
+
+        This is the "administrators manually enter topology
+        configuration" bootstrap mode of Section 4.1; useful when an
+        experiment does not measure discovery itself.
+        """
+        assert self.controller is not None
+        self.controller.adopt_view(self.topology.copy())
+        self.controller.announce_all()
+        self.network.run_until_idle()
+
+    def warm_paths(self, pairs: Optional[List[Tuple[str, str]]] = None) -> None:
+        """Pre-populate path caches for host pairs (default: all pairs).
+
+        Sends a zero-byte probe message through the normal send path so
+        every pair has its PathTable entry before measurement starts.
+        """
+        hosts = self.topology.hosts
+        if pairs is None:
+            pairs = [(a, b) for a in hosts for b in hosts if a != b]
+        for src, dst in pairs:
+            self.agents[src].send_app(dst, ("warmup", src, dst), payload_bytes=1)
+        self.network.run_until_idle()
+
+    # ------------------------------------------------------------------
+    # hot-plug
+
+    def hotplug_host(self, host: str, switch: str, port: int) -> HostAgent:
+        """Plug a brand-new host into the running fabric.
+
+        The switch raises port-up, the controller reprobes the port,
+        discovers the host, records it (replicated), and announces
+        itself -- after which the newcomer is a first-class citizen.
+        Run the loop (``run_until_idle``) to let all of that happen.
+        """
+        rng = random.Random(self._rng.randrange(2**31))
+
+        def factory(name: str, network: Network) -> Device:
+            agent = HostAgent(
+                name,
+                network.loop,
+                tracer=self.tracer,
+                config=self.agent_config,
+                rng=rng,
+            )
+            self.agents[name] = agent
+            return agent
+
+        device = self.network.hotplug_host(host, switch, port, factory)
+        assert isinstance(device, HostAgent)
+        return device
+
+    # ------------------------------------------------------------------
+    # delegation helpers
+
+    def agent(self, host: str) -> HostAgent:
+        return self.agents[host]
+
+    @property
+    def loop(self):
+        return self.network.loop
+
+    @property
+    def now(self) -> float:
+        return self.network.now
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        return self.network.run(until=until, max_events=max_events)
+
+    def run_until_idle(self, max_events: int = 50_000_000) -> int:
+        return self.network.run_until_idle(max_events=max_events)
+
+    def fail_link(self, sw_a: str, port_a: int, sw_b: str, port_b: int) -> None:
+        self.network.fail_link(sw_a, port_a, sw_b, port_b)
+
+    def restore_link(self, sw_a: str, port_a: int, sw_b: str, port_b: int) -> None:
+        self.network.restore_link(sw_a, port_a, sw_b, port_b)
+
+    def fail_switch(self, switch: str) -> None:
+        self.network.fail_switch(switch)

@@ -1,0 +1,152 @@
+"""Path graphs: the controller's cacheable routing subgraphs (Section 4.3).
+
+A path graph bundles, for one (source switch, destination switch) pair:
+
+* the **primary path** -- one randomized shortest path;
+* **local detours** -- every switch that can replace at most ``s``
+  consecutive primary hops with a detour at most ``s + ε`` long
+  (Algorithm 1 in the paper);
+* a **backup path** -- a short path sharing as few links as possible
+  with the primary, computed by re-running shortest path with primary
+  links made expensive.
+
+Hosts cache the whole subgraph: single link failures are routed around
+with a local detour, correlated failures fall back to the backup path,
+and only when the whole subgraph is dead does a host re-query the
+controller.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..topology.graph import Topology
+
+__all__ = ["PathGraph", "build_path_graph", "detour_vertices"]
+
+#: Cost multiplier applied to primary-path links when computing the
+#: backup path: high enough that reuse only happens when unavoidable.
+BACKUP_LINK_PENALTY = 1000.0
+
+
+@dataclass(frozen=True)
+class PathGraph:
+    """The serializable result of :func:`build_path_graph`."""
+
+    src_switch: str
+    dst_switch: str
+    primary: Tuple[str, ...]
+    backup: Optional[Tuple[str, ...]]
+    #: Every switch included in the subgraph (primary + detours + backup).
+    nodes: FrozenSet[str]
+    #: Induced edges as (switch, port, switch, port) tuples.
+    edges: Tuple[Tuple[str, int, str, int], ...]
+    s: int
+    epsilon: int
+
+    @property
+    def size(self) -> int:
+        """Number of switches cached -- the Figure 12 metric."""
+        return len(self.nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def edge_keys(self) -> Set[FrozenSet[Tuple[str, int]]]:
+        return {
+            frozenset(((a, ap), (b, bp))) for a, ap, b, bp in self.edges
+        }
+
+
+def detour_vertices(
+    topology: Topology,
+    primary: Sequence[str],
+    s: int,
+    epsilon: int,
+) -> Set[str]:
+    """Algorithm 1: vertices of all "s-step, ε-good" local detours.
+
+    Walks the primary path in strides of ``s/2``; for each window
+    ``(a, b) = (p_i, p_{i+s})`` it collects every switch ``x`` with
+    ``dist(a, x) + dist(x, b) <= s + ε``.
+    """
+    if s < 1:
+        raise ValueError(f"detour window s must be >= 1, got {s}")
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+    detours: Set[str] = set()
+    length = len(primary)
+    step = max(1, s // 2)
+    i = 0
+    while i < length - 1:
+        a = primary[i]
+        b = primary[min(i + s, length - 1)]
+        dist_a = topology.switch_distances(a)
+        dist_b = topology.switch_distances(b)
+        budget = s + epsilon
+        for x, da in dist_a.items():
+            if da > budget:
+                continue
+            db = dist_b.get(x)
+            if db is not None and da + db <= budget:
+                detours.add(x)
+        i += step
+    return detours
+
+
+def build_path_graph(
+    topology: Topology,
+    src_switch: str,
+    dst_switch: str,
+    s: int = 2,
+    epsilon: int = 1,
+    rng: Optional[random.Random] = None,
+) -> Optional[PathGraph]:
+    """Build the path graph for a switch pair; None when unreachable."""
+    primary = topology.shortest_switch_path(src_switch, dst_switch, rng=rng)
+    if primary is None:
+        return None
+
+    # Backup: penalize primary links so the second run avoids them
+    # unless there is no redundancy (Section 4.3).
+    costs: Dict[FrozenSet, float] = {}
+    for here, there in zip(primary, primary[1:]):
+        for link in topology.links_between(here, there):
+            costs[link.key()] = BACKUP_LINK_PENALTY
+    backup_list = topology.shortest_switch_path(
+        src_switch, dst_switch, rng=rng, link_costs=costs
+    )
+    backup = tuple(backup_list) if backup_list is not None else None
+    if backup == tuple(primary):
+        backup = None  # no disjoint alternative exists
+
+    nodes: Set[str] = set(primary)
+    if backup:
+        nodes.update(backup)
+    if len(primary) > 1:
+        nodes.update(detour_vertices(topology, primary, s, epsilon))
+
+    edges: List[Tuple[str, int, str, int]] = []
+    seen_edges: Set[FrozenSet] = set()
+    for node in nodes:
+        for link in topology.links_of(node):
+            if link.a.switch in nodes and link.b.switch in nodes:
+                if link.key() not in seen_edges:
+                    seen_edges.add(link.key())
+                    edges.append(
+                        (link.a.switch, link.a.port, link.b.switch, link.b.port)
+                    )
+
+    return PathGraph(
+        src_switch=src_switch,
+        dst_switch=dst_switch,
+        primary=tuple(primary),
+        backup=backup,
+        nodes=frozenset(nodes),
+        edges=tuple(sorted(edges)),
+        s=s,
+        epsilon=epsilon,
+    )

@@ -1,0 +1,112 @@
+"""Priority queueing at the switch egress (Section 3.1).
+
+"The hardware can support functions like multi-queue, priority and ECN
+much more easily and efficiently than software.  Adding those functions
+will not change the stateless and configuration-free nature of DumbNet
+switches."
+
+:class:`QosSwitch` adds strict-priority egress scheduling: when an
+output line is busy, frames wait in per-port priority queues and drain
+highest-priority-first.  Failure notifications are implicitly top
+priority -- exactly what the two-stage failure protocol wants: stage-1
+news overtakes queued data on congested links.
+
+The queues hold *frames in flight on this box*, not configuration: the
+switch remains table-free and configuration-free.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from .packet import ETHERTYPE_NOTIFY, Packet
+from .switch import DumbSwitch
+
+__all__ = ["QosSwitch", "PRIORITY_CONTROL", "PRIORITY_DATA", "PRIORITY_BULK"]
+
+PRIORITY_CONTROL = 0  # failure notifications, probes
+PRIORITY_DATA = 1     # default traffic class
+PRIORITY_BULK = 2     # background/scavenger class
+
+#: Per-port queue depth; beyond it the lowest-priority tail drops.
+DEFAULT_QUEUE_FRAMES = 256
+
+
+class QosSwitch(DumbSwitch):
+    """A dumb switch with strict-priority egress queues."""
+
+    def __init__(self, *args, queue_frames: int = DEFAULT_QUEUE_FRAMES, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.queue_frames = queue_frames
+        self._queues: Dict[int, List[Tuple[int, int, Packet, float]]] = {}
+        self._draining: Dict[int, bool] = {}
+        self._seq = itertools.count()
+        self.frames_queued = 0
+        self.frames_dropped_qos = 0
+
+    @staticmethod
+    def classify(packet: Packet) -> int:
+        """Map a frame to its traffic class.
+
+        Notifications are control; anything else takes the class the
+        host stamped into ``packet.priority`` (default data).
+        """
+        if packet.ethertype == ETHERTYPE_NOTIFY:
+            return PRIORITY_CONTROL
+        return getattr(packet, "priority", PRIORITY_DATA)
+
+    # ------------------------------------------------------------------
+
+    def send(self, port: int, packet, size_bits: Optional[float] = None) -> bool:
+        end = self.ports.get(port)
+        if end is None or not self.powered:
+            return False
+        if size_bits is None:
+            size_bits = 8.0 * getattr(packet, "size_bytes", 1500)
+        # Line idle and nothing queued: transmit straight through.
+        if end.busy_until <= self.loop.now and not self._queues.get(port):
+            return super().send(port, packet, size_bits=size_bits)
+        if not isinstance(packet, Packet):
+            return super().send(port, packet, size_bits=size_bits)
+        queue = self._queues.setdefault(port, [])
+        if len(queue) >= self.queue_frames:
+            # Tail-drop the worst class first: if the newcomer is no
+            # better than the worst queued frame, drop the newcomer.
+            worst = max(queue)
+            if self.classify(packet) >= worst[0]:
+                self.frames_dropped_qos += 1
+                return False
+            queue.remove(worst)
+            heapq.heapify(queue)
+            self.frames_dropped_qos += 1
+        heapq.heappush(
+            queue, (self.classify(packet), next(self._seq), packet, size_bits)
+        )
+        self.frames_queued += 1
+        if not self._draining.get(port):
+            self._draining[port] = True
+            self.loop.schedule(
+                max(0.0, end.busy_until - self.loop.now), self._drain, port
+            )
+        return True
+
+    def _drain(self, port: int) -> None:
+        queue = self._queues.get(port)
+        end = self.ports.get(port)
+        if not queue or end is None:
+            self._draining[port] = False
+            return
+        if end.busy_until > self.loop.now:
+            # Someone transmitted meanwhile; try again when free.
+            self.loop.schedule(end.busy_until - self.loop.now, self._drain, port)
+            return
+        _prio, _seq, packet, size_bits = heapq.heappop(queue)
+        super().send(port, packet, size_bits=size_bits)
+        if queue:
+            self.loop.schedule(
+                max(1e-12, end.busy_until - self.loop.now), self._drain, port
+            )
+        else:
+            self._draining[port] = False

@@ -1,0 +1,104 @@
+"""Controller replication and failover (Sections 4.1-4.2).
+
+"We use replication to tolerate controller failures.  The controller
+replicas use Apache ZooKeeper to keep a consistency view of the network
+topology and serve host requests in the same way."
+
+:class:`ReplicatedControlPlane` glues the pieces together on a live
+fabric: the primary :class:`~repro.core.controller.Controller` logs
+every topology change into a :class:`~repro.consensus.store.
+ReplicatedTopologyStore`; standby controllers (ordinary hosts promoted
+on demand) hold consistent view replicas.  When the primary dies,
+:meth:`failover` promotes a standby: it adopts the replicated view,
+re-announces itself, and hosts transparently re-target their queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..consensus.store import ReplicatedTopologyStore
+from ..netsim.network import Network
+from .controller import Controller, ControllerConfig
+from .host_agent import HostAgent
+
+__all__ = ["ReplicatedControlPlane", "ReplicationError"]
+
+
+class ReplicationError(RuntimeError):
+    """Failover impossible: no live standby or no quorum."""
+
+
+class ReplicatedControlPlane:
+    """Primary controller + standby replicas over a quorum store."""
+
+    def __init__(
+        self,
+        network: Network,
+        primary: Controller,
+        standbys: Sequence[HostAgent],
+    ) -> None:
+        if primary.view is None:
+            raise ReplicationError("primary has no view; bootstrap first")
+        for standby in standbys:
+            if not isinstance(standby, Controller):
+                raise ReplicationError(
+                    f"standby {standby.name!r} must be a Controller instance"
+                )
+        self.network = network
+        self.primary = primary
+        self.standbys: List[Controller] = list(standbys)  # type: ignore[arg-type]
+        names = [primary.name] + [s.name for s in self.standbys]
+        self.store = ReplicatedTopologyStore(names, primary.view)
+        primary.replicator = self.store
+        # Standbys are passive: they don't answer path queries until
+        # promoted (the paper serializes discovery/serving through one
+        # primary and keeps the rest as replicas).
+        for standby in self.standbys:
+            standby.is_controller = True
+
+    # ------------------------------------------------------------------
+
+    @property
+    def current_primary(self) -> Controller:
+        return self.primary
+
+    def fail_primary(self) -> Controller:
+        """Kill the primary host and promote a standby."""
+        dead = self.primary
+        self.network.hosts[dead.name].power_off()
+        promoted_name = self.store.fail_primary()
+        if promoted_name is None:
+            raise ReplicationError("no replica could win the election")
+        return self._promote(promoted_name)
+
+    def failover(self) -> Controller:
+        """Promote a standby without killing the old primary's host
+        (e.g. planned maintenance)."""
+        promoted_name = self.store.fail_primary()
+        if promoted_name is None:
+            raise ReplicationError("no replica could win the election")
+        return self._promote(promoted_name)
+
+    def _promote(self, name: str) -> Controller:
+        candidates = [s for s in self.standbys if s.name == name]
+        if not candidates:
+            raise ReplicationError(f"promoted replica {name!r} is not a standby")
+        new_primary = candidates[0]
+        # Adopt the replicated, quorum-committed view...
+        view = self.store.view_of(name).copy()
+        # ... minus the dead primary's host entry if its NIC is dark.
+        old = self.primary
+        if not self.network.hosts[old.name].powered and view.has_host(old.name):
+            view.remove_host(old.name)
+        new_primary.adopt_view(view)
+        new_primary.replicator = self.store
+        self.standbys = [s for s in self.standbys if s.name != name]
+        if old.powered:
+            # An ex-primary whose host still runs becomes a standby.
+            self.standbys.append(old)
+        old.replicator = None
+        self.primary = new_primary
+        # Tell every host where the controller now lives.
+        new_primary.announce_all()
+        return new_primary

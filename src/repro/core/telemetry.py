@@ -1,0 +1,172 @@
+"""Packet statistics on dumb switches (Section 8 future work).
+
+"We are adding mechanisms for packet statistics and ECN support to the
+switch.  Note that these mechanisms either require no state, or only
+soft state, keeping the switches dumb."
+
+Design: counters are soft state the switch already has (it increments
+them anyway for its own health LEDs); the *query* mechanism reuses the
+tag-0 ID query -- a :class:`StatsSwitch` answers it with a
+:class:`SwitchStatsReply`, which is a :class:`SwitchIDReply` carrying a
+counters snapshot.  Discovery keeps working unmodified (the subclass
+satisfies the same contract), and a host-side
+:class:`TelemetryCollector` polls the whole fabric with ordinary
+tag-routed probes: no switch configuration, no polling agents on boxes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..netsim.network import Network
+from .controller import Controller
+from .discovery import ProbeSpec, route_tags
+from .messages import SwitchIDReply
+from .packet import ID_QUERY
+from .switch import DumbSwitch
+
+__all__ = ["SwitchStatsReply", "StatsSwitch", "TelemetryCollector", "FabricReport"]
+
+
+@dataclass(frozen=True)
+class SwitchStatsReply(SwitchIDReply):
+    """An ID reply that also carries the switch's counter snapshot."""
+
+    counters: Tuple[Tuple[str, int], ...] = ()
+
+    def counter(self, name: str) -> int:
+        for key, value in self.counters:
+            if key == name:
+                return value
+        return 0
+
+
+class StatsSwitch(DumbSwitch):
+    """A dumb switch whose ID replies include packet statistics.
+
+    Adds per-port transmit counters (soft state) on top of the base
+    class's aggregate counters; everything rides the existing ID-query
+    dataplane behaviour.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.tx_frames: Dict[int, int] = {}
+
+    def send(self, port: int, packet, size_bits: Optional[float] = None) -> bool:
+        ok = super().send(port, packet, size_bits=size_bits)
+        if ok:
+            self.tx_frames[port] = self.tx_frames.get(port, 0) + 1
+        return ok
+
+    def _snapshot(self) -> Tuple[Tuple[str, int], ...]:
+        rows: List[Tuple[str, int]] = [
+            ("forwarded", self.forwarded),
+            ("dropped_bad_tag", self.dropped_bad_tag),
+            ("dropped_dead_port", self.dropped_dead_port),
+            ("id_queries", self.id_queries_answered),
+            ("notifications", self.notifications_originated),
+        ]
+        for port in sorted(self.tx_frames):
+            rows.append((f"tx_port_{port}", self.tx_frames[port]))
+        return tuple(rows)
+
+    def handle_packet(self, port: int, packet) -> None:
+        # Intercept the ID query to substitute the stats-bearing reply;
+        # everything else is the plain dataplane.
+        if (
+            packet is not None
+            and getattr(packet, "tags", None) is not None
+            and not packet.tags.at_end
+            and packet.tags.peek() == ID_QUERY
+        ):
+            packet.tags.pop()
+            packet.payload = SwitchStatsReply(
+                switch_id=self.name,
+                echo=packet.payload,
+                counters=self._snapshot(),
+            )
+            packet.payload_bytes = max(packet.payload_bytes, 64)
+            self.id_queries_answered += 1
+            if packet.tags.at_end:
+                self.dropped_bad_tag += 1
+                return
+            tag = packet.tags.pop()
+            if tag == ID_QUERY or tag > self.num_ports:
+                self.dropped_bad_tag += 1
+                return
+            if not self.send(tag, packet):
+                self.dropped_dead_port += 1
+                return
+            self.forwarded += 1
+            return
+        super().handle_packet(port, packet)
+
+
+@dataclass
+class FabricReport:
+    """Fabric-wide counter snapshot, one row per switch."""
+
+    rows: Dict[str, Tuple[Tuple[str, int], ...]] = field(default_factory=dict)
+    unreachable: List[str] = field(default_factory=list)
+
+    def total(self, counter: str) -> int:
+        out = 0
+        for counters in self.rows.values():
+            for key, value in counters:
+                if key == counter:
+                    out += value
+        return out
+
+    def hottest_ports(self, top: int = 5) -> List[Tuple[str, int, int]]:
+        """(switch, port, tx frames), busiest first."""
+        entries: List[Tuple[str, int, int]] = []
+        for switch, counters in self.rows.items():
+            for key, value in counters:
+                if key.startswith("tx_port_"):
+                    entries.append((switch, int(key.rsplit("_", 1)[1]), value))
+        entries.sort(key=lambda e: e[2], reverse=True)
+        return entries[:top]
+
+
+class TelemetryCollector:
+    """Polls every switch's counters through the live dataplane.
+
+    Runs from outside the event loop (like discovery bootstrap): it
+    sends one stats query per switch, drains the network, and collects
+    the replies.  Requires the controller's view for routing.
+    """
+
+    def __init__(self, controller: Controller, network: Network) -> None:
+        if controller.view is None:
+            raise RuntimeError("telemetry needs a bootstrapped controller")
+        self.controller = controller
+        self.network = network
+
+    def collect(self) -> FabricReport:
+        view = self.controller.view
+        assert view is not None
+        report = FabricReport()
+        pending: Dict[int, str] = {}
+        for switch in view.switches:
+            try:
+                to_tags, from_tags = route_tags(
+                    view, self.controller.name, switch
+                )
+            except Exception:
+                report.unreachable.append(switch)
+                continue
+            nonce = self.controller.send_probe(
+                ProbeSpec(tags=to_tags + (ID_QUERY,) + from_tags)
+            )
+            pending[nonce] = switch
+        self.network.run_until_idle()
+        for nonce, switch in pending.items():
+            outcome = self.controller.collect_probe(nonce)
+            if outcome is None or outcome.kind != "id":
+                report.unreachable.append(switch)
+                continue
+            stats = outcome.stats or ()
+            report.rows[switch] = tuple(stats)
+        return report

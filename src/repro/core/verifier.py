@@ -1,0 +1,87 @@
+"""Path verification (Section 6.1).
+
+Applications may supply their own routes (customized routing functions,
+Figure 6).  Before such a route enters the PathTable, the system checks
+it: every hop must exist in the topology view the application was given,
+and the route must respect the security policy -- in the virtualization
+case, stay inside the tenant's virtual topology.
+
+Table 2 measures this check at 7.17 microseconds for a 16-hop path on a
+5,120-switch fat-tree; the bench for that table calls
+:meth:`PathVerifier.verify` directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Set, Tuple
+
+from ..topology.graph import HostAttachment, PortRef, Topology
+from .pathcache import CachedPath
+
+__all__ = ["PathVerifier", "VerificationPolicy", "SwitchSetPolicy"]
+
+
+class VerificationPolicy:
+    """Pluggable policy: may this path be used at all?"""
+
+    def allows(self, path: CachedPath) -> bool:
+        return True
+
+
+class SwitchSetPolicy(VerificationPolicy):
+    """Restrict paths to an allowed switch set (tenant isolation)."""
+
+    def __init__(self, allowed_switches: Iterable[str]) -> None:
+        self.allowed: Set[str] = set(allowed_switches)
+
+    def allows(self, path: CachedPath) -> bool:
+        return all(switch in self.allowed for switch in path.switches)
+
+
+class PathVerifier:
+    """Validate an application-supplied route hop by hop."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        policy: Optional[VerificationPolicy] = None,
+    ) -> None:
+        self.topology = topology
+        self.policy = policy or VerificationPolicy()
+        self.checks = 0
+        self.rejections = 0
+
+    def verify(self, src_host: str, dst_host: str, path: CachedPath) -> bool:
+        """True when the route is physically real and policy-clean.
+
+        Checks, in order: the tag count matches the switch sequence, the
+        source attaches to the first switch, every tag points at the
+        link to the next claimed switch, the final tag lands on the
+        destination host, and the policy admits the switch set.
+        """
+        self.checks += 1
+        ok = self._check(src_host, dst_host, path) and self.policy.allows(path)
+        if not ok:
+            self.rejections += 1
+        return ok
+
+    def _check(self, src_host: str, dst_host: str, path: CachedPath) -> bool:
+        topo = self.topology
+        if len(path.tags) != len(path.switches):
+            return False
+        if not topo.has_host(src_host) or not topo.has_host(dst_host):
+            return False
+        if topo.host_port(src_host).switch != path.switches[0]:
+            return False
+        for i, (switch, tag) in enumerate(zip(path.switches, path.tags)):
+            if not topo.has_switch(switch):
+                return False
+            peer = topo.peer(switch, tag)
+            last = i == len(path.switches) - 1
+            if last:
+                if not isinstance(peer, HostAttachment) or peer.host != dst_host:
+                    return False
+            else:
+                if not isinstance(peer, PortRef) or peer.switch != path.switches[i + 1]:
+                    return False
+        return True

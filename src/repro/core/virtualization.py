@@ -1,0 +1,142 @@
+"""Network virtualization on DumbNet (Section 6.1).
+
+"We can trivially implement network virtualization: we only need to
+provide different topologies for applications on different virtual
+networks.  Of course, we need to verify the paths to prevent malicious
+applications from violating the separation."
+
+A :class:`VirtualNetworkManager` partitions the fabric into tenants.
+Each tenant sees an induced sub-topology (its member hosts plus an
+allowed switch set); the TopoCache interface hands applications exactly
+that view, and a :class:`~repro.core.verifier.PathVerifier` with a
+:class:`~repro.core.verifier.SwitchSetPolicy` rejects any
+application-generated route that strays outside it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..topology.graph import Topology, TopologyError
+from .pathcache import CachedPath
+from .verifier import PathVerifier, SwitchSetPolicy
+
+__all__ = ["Tenant", "VirtualNetworkManager", "VirtualizationError"]
+
+
+class VirtualizationError(ValueError):
+    """Tenant definition problems: unknown hosts, empty slices, overlap."""
+
+
+@dataclass
+class Tenant:
+    """One virtual network: its hosts and the switches it may transit."""
+
+    name: str
+    hosts: Set[str]
+    switches: Set[str]
+    #: Filled in by the manager.
+    view: Optional[Topology] = None
+    verifier: Optional[PathVerifier] = None
+
+
+class VirtualNetworkManager:
+    """Builds and polices per-tenant views of one physical topology."""
+
+    def __init__(self, physical: Topology) -> None:
+        self.physical = physical
+        self.tenants: Dict[str, Tenant] = {}
+
+    # ------------------------------------------------------------------
+
+    def create_tenant(
+        self,
+        name: str,
+        hosts: Iterable[str],
+        switches: Optional[Iterable[str]] = None,
+    ) -> Tenant:
+        """Register a tenant.
+
+        ``switches`` defaults to every switch (full-fabric slice); pass
+        an explicit set for a hard slice.  The attachment switches of
+        all member hosts are always included: a tenant that cannot
+        reach its own hosts would be useless.
+        """
+        if name in self.tenants:
+            raise VirtualizationError(f"duplicate tenant {name!r}")
+        host_set = set(hosts)
+        if not host_set:
+            raise VirtualizationError("a tenant needs at least one host")
+        for host in host_set:
+            if not self.physical.has_host(host):
+                raise VirtualizationError(f"unknown host {host!r}")
+        if switches is None:
+            switch_set = set(self.physical.switches)
+        else:
+            switch_set = set(switches)
+            for switch in switch_set:
+                if not self.physical.has_switch(switch):
+                    raise VirtualizationError(f"unknown switch {switch!r}")
+        for host in host_set:
+            switch_set.add(self.physical.host_port(host).switch)
+
+        tenant = Tenant(name=name, hosts=host_set, switches=switch_set)
+        tenant.view = self._induced_view(tenant)
+        tenant.verifier = PathVerifier(
+            tenant.view, policy=SwitchSetPolicy(switch_set)
+        )
+        self.tenants[name] = tenant
+        return tenant
+
+    def _induced_view(self, tenant: Tenant) -> Topology:
+        """The sub-topology a tenant's applications are shown."""
+        view = Topology()
+        for switch in tenant.switches:
+            view.add_switch(switch, self.physical.num_ports(switch))
+        for link in self.physical.links:
+            if link.a.switch in tenant.switches and link.b.switch in tenant.switches:
+                view.add_link(link.a.switch, link.a.port, link.b.switch, link.b.port)
+        for host in tenant.hosts:
+            ref = self.physical.host_port(host)
+            view.add_host(host, ref.switch, ref.port)
+        return view
+
+    # ------------------------------------------------------------------
+
+    def tenant_of(self, host: str) -> Optional[Tenant]:
+        for tenant in self.tenants.values():
+            if host in tenant.hosts:
+                return tenant
+        return None
+
+    def topology_for(self, host: str) -> Optional[Topology]:
+        """The TopoCache-style "reveal topology" interface, per tenant.
+
+        This is the permission-scoped topology sharing of Section 6.1:
+        an application only ever sees its own tenant's subgraph.
+        """
+        tenant = self.tenant_of(host)
+        return tenant.view if tenant else None
+
+    def path_allowed(self, host: str, src: str, dst: str, path: CachedPath) -> bool:
+        """Would this application route violate tenant separation?"""
+        tenant = self.tenant_of(host)
+        if tenant is None or tenant.verifier is None:
+            return False
+        if src not in tenant.hosts or dst not in tenant.hosts:
+            return False
+        return tenant.verifier.verify(src, dst, path)
+
+    def tenant_connected(self, name: str) -> bool:
+        """Is the tenant's slice internally connected?  (Useful to
+        validate a slice before handing it to an application.)"""
+        tenant = self.tenants.get(name)
+        if tenant is None or tenant.view is None:
+            raise VirtualizationError(f"unknown tenant {name!r}")
+        if len(tenant.hosts) <= 1:
+            return True
+        attachments = {tenant.view.host_port(h).switch for h in tenant.hosts}
+        start = next(iter(attachments))
+        reachable = set(tenant.view.switch_distances(start))
+        return attachments <= reachable

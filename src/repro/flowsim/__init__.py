@@ -1,0 +1,26 @@
+"""Fluid flow-level bandwidth simulation (max-min fair sharing)."""
+
+from .maxmin import FairnessError, max_min_rates
+from .network import FlowNet
+from .simulator import (
+    Flow,
+    FluidSimulator,
+    HashedKPathPolicy,
+    PathPolicy,
+    RebalancingKPathPolicy,
+    SingleShortestPolicy,
+    ThroughputSeries,
+)
+
+__all__ = [
+    "max_min_rates",
+    "FairnessError",
+    "FlowNet",
+    "Flow",
+    "FluidSimulator",
+    "PathPolicy",
+    "SingleShortestPolicy",
+    "HashedKPathPolicy",
+    "RebalancingKPathPolicy",
+    "ThroughputSeries",
+]

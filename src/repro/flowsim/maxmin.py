@@ -1,0 +1,115 @@
+"""Max-min fair bandwidth allocation (progressive filling).
+
+The throughput experiments (aggregate leaf throughput, failover rate
+curves, HiBench task times) run on a fluid flow model: at any instant,
+every flow gets its max-min fair share of the links it crosses, the
+standard steady-state abstraction of per-flow fair queueing + TCP.
+
+:func:`max_min_rates` implements progressive filling with per-flow
+demand caps: repeatedly find the most constrained link (smallest fair
+share among its unfrozen flows), freeze those flows at that share, and
+subtract.  Flows whose demand is below their would-be share freeze at
+their demand instead.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["max_min_rates", "FairnessError"]
+
+LinkId = Hashable
+FlowId = Hashable
+
+
+class FairnessError(ValueError):
+    """Inconsistent inputs: unknown links, non-positive capacities."""
+
+
+def max_min_rates(
+    flow_routes: Mapping[FlowId, Sequence[LinkId]],
+    capacities: Mapping[LinkId, float],
+    demands: Optional[Mapping[FlowId, float]] = None,
+) -> Dict[FlowId, float]:
+    """Allocate max-min fair rates.
+
+    ``flow_routes`` maps flow id -> the links it crosses; ``capacities``
+    maps link -> capacity (any consistent unit); ``demands`` optionally
+    caps individual flows.  Flows with empty routes get their demand
+    (or +inf -- caller beware).  Returns flow id -> rate.
+    """
+    demands = demands or {}
+    rates: Dict[FlowId, float] = {}
+    active: Dict[FlowId, Tuple[LinkId, ...]] = {}
+    for flow, route in flow_routes.items():
+        for link in route:
+            if link not in capacities:
+                raise FairnessError(f"flow {flow!r} crosses unknown link {link!r}")
+        active[flow] = tuple(route)
+
+    residual: Dict[LinkId, float] = {}
+    users: Dict[LinkId, set] = {}
+    for link, cap in capacities.items():
+        if cap <= 0:
+            raise FairnessError(f"non-positive capacity on {link!r}")
+        residual[link] = float(cap)
+        users[link] = set()
+    for flow, route in active.items():
+        for link in route:
+            users[link].add(flow)
+
+    def freeze(flow: FlowId, rate: float) -> None:
+        rates[flow] = rate
+        for link in active[flow]:
+            residual[link] -= rate
+            if residual[link] < 0:
+                residual[link] = 0.0
+            users[link].discard(flow)
+        del active[flow]
+
+    # Flows with no capacity constraint at all freeze at their demand.
+    for flow in list(active):
+        if not active[flow]:
+            freeze(flow, float(demands.get(flow, math.inf)))
+
+    while active:
+        # The fair increment every remaining flow could still take.
+        bottleneck_share = math.inf
+        for link, flows_on in users.items():
+            if not flows_on:
+                continue
+            share = residual[link] / len(flows_on)
+            if share < bottleneck_share:
+                bottleneck_share = share
+        # Demand-capped flows below the share freeze first.
+        capped = [
+            flow
+            for flow in active
+            if demands.get(flow, math.inf) <= bottleneck_share + 1e-15
+        ]
+        if capped:
+            for flow in capped:
+                freeze(flow, float(demands[flow]))
+            continue
+        if not math.isfinite(bottleneck_share):
+            # No link constrains the rest (shouldn't happen: handled
+            # above), freeze them at demand.
+            for flow in list(active):
+                freeze(flow, float(demands.get(flow, math.inf)))
+            break
+        # Freeze every flow on a bottleneck link at the share.
+        froze_any = False
+        for link in list(users):
+            flows_on = users[link]
+            if not flows_on:
+                continue
+            share = residual[link] / len(flows_on)
+            if share <= bottleneck_share + 1e-15:
+                for flow in list(flows_on):
+                    freeze(flow, bottleneck_share)
+                    froze_any = True
+        if not froze_any:  # numerical corner: freeze everything
+            for flow in list(active):
+                freeze(flow, bottleneck_share)
+    return rates

@@ -1,0 +1,383 @@
+"""Fluid (flow-level) network simulator.
+
+Flows are fluid streams that at every instant receive their max-min
+fair share of the links on their route.  The simulator advances from
+event to event (flow arrival, flow completion, injected network event),
+recomputing the allocation in between.  This is the standard flow-level
+methodology for data-center throughput studies, and is what makes the
+HiBench-scale experiments tractable (the paper itself notes a Python
+packet dataplane is far too slow).
+
+Path selection is pluggable via :class:`PathPolicy`: the same simulator
+runs DumbNet with flowlet-style rebalancing, DumbNet pinned to a single
+path, and ECMP-like hashing, which is exactly the comparison Figure 13
+draws.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from .maxmin import max_min_rates
+from .network import FlowNet
+
+__all__ = [
+    "Flow",
+    "PathPolicy",
+    "SingleShortestPolicy",
+    "HashedKPathPolicy",
+    "RebalancingKPathPolicy",
+    "FluidSimulator",
+    "ThroughputSeries",
+]
+
+
+@dataclass
+class Flow:
+    """One fluid flow."""
+
+    fid: int
+    src: str
+    dst: str
+    size_bits: float
+    start_s: float
+    demand_bps: float = math.inf
+    tag: Hashable = None  # caller-defined grouping (task id, stage id...)
+    switch_path: Optional[List[str]] = None
+    remaining_bits: float = 0.0
+    rate_bps: float = 0.0
+    finished_at: Optional[float] = None
+    stalled: bool = False
+
+    @property
+    def done(self) -> bool:
+        return self.finished_at is not None
+
+
+class PathPolicy:
+    """Chooses (and re-chooses after failures) a flow's switch path."""
+
+    def choose(self, net: FlowNet, flow: Flow) -> Optional[List[str]]:
+        raise NotImplementedError
+
+    def rebalance(self, net: FlowNet, flows: Sequence[Flow]) -> bool:
+        """Optionally move active flows between paths; True if changed."""
+        return False
+
+
+class SingleShortestPolicy(PathPolicy):
+    """Always the (deterministic) shortest path: the "DumbNet single
+    path" baseline of Figure 13 and the classic L2/STP behaviour."""
+
+    def choose(self, net: FlowNet, flow: Flow) -> Optional[List[str]]:
+        paths = net.k_paths(flow.src, flow.dst, 1)
+        return paths[0] if paths else None
+
+
+class HashedKPathPolicy(PathPolicy):
+    """Pick one of the k shortest paths by flow hash (ECMP-style)."""
+
+    def __init__(self, k: int = 4, seed: int = 0) -> None:
+        self.k = k
+        self.seed = seed
+
+    def choose(self, net: FlowNet, flow: Flow) -> Optional[List[str]]:
+        paths = net.k_paths(flow.src, flow.dst, self.k)
+        if not paths:
+            return None
+        return paths[hash((self.seed, flow.fid)) % len(paths)]
+
+
+class RebalancingKPathPolicy(PathPolicy):
+    """Flowlet-style load balancing at the fluid level.
+
+    New flows start on the least-loaded of the k shortest paths; at
+    every simulation event active flows may migrate to a less loaded
+    path.  This is the fluid-model equivalent of per-flowlet path
+    re-selection: flowlet boundaries are frequent relative to flow
+    lifetimes, so a flow tracks the currently-best path over time.
+    """
+
+    def __init__(self, k: int = 4, headroom: float = 1.25) -> None:
+        self.k = k
+        #: A flow only migrates when the alternative is this much less
+        #: loaded, which damps oscillation.
+        self.headroom = headroom
+        self._load: Dict[Tuple, int] = {}
+
+    def _path_load(self, net: FlowNet, src: str, path: List[str], dst: str) -> float:
+        links = net.route_links(src, path, dst)
+        if links is None:
+            return math.inf
+        return max(self._load.get(link, 0) for link in links)
+
+    def _recount(self, net: FlowNet, flows: Sequence[Flow]) -> None:
+        self._load.clear()
+        for flow in flows:
+            if flow.done or flow.switch_path is None:
+                continue
+            links = net.route_links(flow.src, flow.switch_path, flow.dst)
+            if links is None:
+                continue
+            for link in links:
+                self._load[link] = self._load.get(link, 0) + 1
+
+    def choose(self, net: FlowNet, flow: Flow) -> Optional[List[str]]:
+        paths = net.k_paths(flow.src, flow.dst, self.k)
+        if not paths:
+            return None
+        best = min(
+            paths, key=lambda p: self._path_load(net, flow.src, p, flow.dst)
+        )
+        links = net.route_links(flow.src, best, flow.dst)
+        if links is not None:
+            for link in links:
+                self._load[link] = self._load.get(link, 0) + 1
+        return best
+
+    def rebalance(self, net: FlowNet, flows: Sequence[Flow]) -> bool:
+        self._recount(net, flows)
+        changed = False
+        for flow in flows:
+            if flow.done or flow.switch_path is None:
+                continue
+            current_load = self._path_load(net, flow.src, flow.switch_path, flow.dst)
+            paths = net.k_paths(flow.src, flow.dst, self.k)
+            if not paths:
+                continue
+            best = min(
+                paths, key=lambda p: self._path_load(net, flow.src, p, flow.dst)
+            )
+            best_load = self._path_load(net, flow.src, best, flow.dst)
+            if best_load * self.headroom < current_load and best != flow.switch_path:
+                # Move the flow: update counts incrementally.
+                old_links = net.route_links(flow.src, flow.switch_path, flow.dst)
+                if old_links:
+                    for link in old_links:
+                        self._load[link] = max(0, self._load.get(link, 0) - 1)
+                new_links = net.route_links(flow.src, best, flow.dst)
+                if new_links:
+                    for link in new_links:
+                        self._load[link] = self._load.get(link, 0) + 1
+                flow.switch_path = best
+                changed = True
+        return changed
+
+
+@dataclass
+class ThroughputSeries:
+    """Piecewise-constant rate samples: (t_start, t_end, bps)."""
+
+    segments: List[Tuple[float, float, float]] = field(default_factory=list)
+
+    def add(self, t0: float, t1: float, bps: float) -> None:
+        if t1 > t0:
+            self.segments.append((t0, t1, bps))
+
+    def rate_at(self, t: float) -> float:
+        for t0, t1, bps in self.segments:
+            if t0 <= t < t1:
+                return bps
+        return 0.0
+
+    def binned(self, bin_s: float, until: Optional[float] = None) -> List[Tuple[float, float]]:
+        """(bin start, mean bps) rows -- the Figure 11(b) time series."""
+        if not self.segments:
+            return []
+        end = until if until is not None else max(t1 for _t0, t1, _ in self.segments)
+        bins: List[Tuple[float, float]] = []
+        t = 0.0
+        while t < end:
+            hi = min(t + bin_s, end)
+            moved = 0.0
+            for t0, t1, bps in self.segments:
+                overlap = min(t1, hi) - max(t0, t)
+                if overlap > 0:
+                    moved += bps * overlap
+            bins.append((t, moved / (hi - t)))
+            t = hi
+        return bins
+
+
+class FluidSimulator:
+    """Event-driven fluid simulation over a :class:`FlowNet`."""
+
+    def __init__(
+        self,
+        net: FlowNet,
+        policy: PathPolicy,
+        rebalance_interval_s: Optional[float] = None,
+    ) -> None:
+        self.net = net
+        self.policy = policy
+        self.rebalance_interval_s = rebalance_interval_s
+        self._last_rebalance = -math.inf
+        self.now = 0.0
+        self.flows: List[Flow] = []
+        self._fids = itertools.count(1)
+        self._arrivals: List[Tuple[float, int, Flow]] = []
+        self._injected: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self.completed: List[Flow] = []
+
+    # ------------------------------------------------------------------
+
+    def add_flow(
+        self,
+        src: str,
+        dst: str,
+        size_bits: float,
+        start_s: float = 0.0,
+        demand_bps: float = math.inf,
+        tag: Hashable = None,
+    ) -> Flow:
+        flow = Flow(
+            fid=next(self._fids),
+            src=src,
+            dst=dst,
+            size_bits=size_bits,
+            start_s=start_s,
+            demand_bps=demand_bps,
+            tag=tag,
+        )
+        flow.remaining_bits = size_bits
+        heapq.heappush(self._arrivals, (start_s, next(self._seq), flow))
+        return flow
+
+    def at(self, time_s: float, callback: Callable[[], None]) -> None:
+        """Inject a network event (e.g. a link failure) at a time."""
+        heapq.heappush(self._injected, (time_s, next(self._seq), callback))
+
+    # ------------------------------------------------------------------
+
+    def _active(self) -> List[Flow]:
+        return [f for f in self.flows if not f.done]
+
+    def _recompute(self) -> None:
+        active = self._active()
+        # Revalidate routes (failures may have killed some) and give
+        # routeless flows another chance.
+        for flow in active:
+            if flow.switch_path is not None and not self.net.path_is_alive(
+                flow.src, flow.switch_path, flow.dst
+            ):
+                flow.switch_path = None
+            if flow.switch_path is None:
+                flow.switch_path = self.policy.choose(self.net, flow)
+                flow.stalled = flow.switch_path is None
+        # Rebalancing can be throttled: with thousands of flows the
+        # policy's load scan is the dominant cost, and flowlet-scale
+        # re-selection does not need to run at every fluid event.
+        if (
+            self.rebalance_interval_s is None
+            or self.now - self._last_rebalance >= self.rebalance_interval_s
+        ):
+            self.policy.rebalance(self.net, active)
+            self._last_rebalance = self.now
+        routes = {}
+        demands = {}
+        for flow in active:
+            if flow.switch_path is None:
+                flow.rate_bps = 0.0
+                continue
+            links = self.net.route_links(flow.src, flow.switch_path, flow.dst)
+            if links is None:
+                flow.rate_bps = 0.0
+                flow.switch_path = None
+                continue
+            routes[flow.fid] = links
+            if math.isfinite(flow.demand_bps):
+                demands[flow.fid] = flow.demand_bps
+        rates = max_min_rates(routes, self.net.capacities, demands)
+        for flow in active:
+            flow.rate_bps = rates.get(flow.fid, 0.0)
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        record: Optional[Dict[Hashable, ThroughputSeries]] = None,
+        record_key: Optional[Callable[[Flow], Hashable]] = None,
+    ) -> None:
+        """Run to completion (or ``until``).
+
+        ``record``/``record_key`` collect per-group throughput series:
+        each active flow's rate is attributed to ``record_key(flow)``.
+        """
+        horizon = until if until is not None else math.inf
+        while True:
+            self._recompute()
+            # Next event time.
+            candidates: List[float] = []
+            if self._arrivals:
+                candidates.append(self._arrivals[0][0])
+            if self._injected:
+                candidates.append(self._injected[0][0])
+            finish_candidates = []
+            for flow in self._active():
+                if flow.rate_bps <= 0:
+                    continue
+                finish_at = self.now + flow.remaining_bits / flow.rate_bps
+                if finish_at <= self.now:
+                    # The residue drains in less than one float ulp of
+                    # simulated time: finish it now, or the clock could
+                    # never advance past it.
+                    flow.remaining_bits = 0.0
+                    finish_at = self.now
+                finish_candidates.append(finish_at)
+            if finish_candidates:
+                candidates.append(min(finish_candidates))
+            if not candidates:
+                break
+            t_next = min(candidates)
+            if t_next > horizon:
+                self._advance(horizon, record, record_key)
+                self.now = horizon
+                break
+            self._advance(t_next, record, record_key)
+            self.now = t_next
+            # Handle all events at t_next.
+            while self._arrivals and self._arrivals[0][0] <= self.now + 1e-12:
+                _t, _s, flow = heapq.heappop(self._arrivals)
+                self.flows.append(flow)
+            while self._injected and self._injected[0][0] <= self.now + 1e-12:
+                _t, _s, callback = heapq.heappop(self._injected)
+                callback()
+            for flow in self._active():
+                if flow.remaining_bits <= 1e-6 and flow.start_s <= self.now:
+                    flow.finished_at = self.now
+                    flow.rate_bps = 0.0
+                    self.completed.append(flow)
+            # Loop exit is handled at the top: with no arrivals, no
+            # injected events and no flow able to finish (all stalled),
+            # the candidate list comes up empty and we break.
+
+    def _advance(self, t_next: float, record, record_key) -> None:
+        dt = t_next - self.now
+        if dt <= 0:
+            return
+        for flow in self._active():
+            if flow.rate_bps > 0:
+                flow.remaining_bits = max(0.0, flow.remaining_bits - flow.rate_bps * dt)
+        if record is not None and record_key is not None:
+            sums: Dict[Hashable, float] = {}
+            for flow in self._active():
+                key = record_key(flow)
+                if key is not None:
+                    sums[key] = sums.get(key, 0.0) + flow.rate_bps
+            for key, bps in sums.items():
+                record.setdefault(key, ThroughputSeries()).add(self.now, t_next, bps)
+
+    # ------------------------------------------------------------------
+
+    def completion_time(self, tag: Hashable) -> Optional[float]:
+        """Latest finish time among flows with this tag."""
+        finished = [f.finished_at for f in self.flows if f.tag == tag and f.done]
+        pending = [f for f in self.flows if f.tag == tag and not f.done]
+        if pending or not finished:
+            return None
+        return max(finished)

@@ -1,0 +1,35 @@
+"""Calibrated hardware models: FPGA area and host stack costs."""
+
+from .resources import (
+    DUMBNET_VERILOG_LINES,
+    HardwareResources,
+    dumbnet_switch_resources,
+    openflow_switch_resources,
+    reduction_factor,
+)
+from .hostmodel import (
+    ALL_STACKS,
+    DUMBNET,
+    DUMBNET_MTU_BYTES,
+    MPLS_ONLY,
+    NATIVE,
+    NOOP_DPDK,
+    StackModel,
+    throughput_bps,
+)
+
+__all__ = [
+    "HardwareResources",
+    "dumbnet_switch_resources",
+    "openflow_switch_resources",
+    "reduction_factor",
+    "DUMBNET_VERILOG_LINES",
+    "StackModel",
+    "NATIVE",
+    "NOOP_DPDK",
+    "MPLS_ONLY",
+    "DUMBNET",
+    "ALL_STACKS",
+    "DUMBNET_MTU_BYTES",
+    "throughput_bps",
+]

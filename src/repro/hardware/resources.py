@@ -1,0 +1,90 @@
+"""FPGA resource models (Section 7.1, Figure 7).
+
+The paper synthesizes its DumbNet switch on an ONetSwitch45 (Xilinx
+Zynq-7000) and reports, for 4 ports, 1,713 LUTs and 1,504 registers
+versus 16,070 LUTs and 17,193 registers for the NetFPGA OpenFlow switch
+ported to the same board -- a ~90% reduction -- and sweeps the DumbNet
+forwarding logic up to higher port counts (Figure 7).
+
+We cannot synthesize Verilog here, so this module is an *area model* of
+the two pipelines, calibrated exactly to the paper's published 4-port
+numbers:
+
+* DumbNet (Figure 5 architecture): per input port a pop-label stage
+  (constant area) and an output demultiplexer whose area grows with the
+  port count -> total area  base + a*P + b*P^2, quadratic-dominated at
+  high port counts (the crossbar), linear-looking at Figure 7's scales.
+* OpenFlow: a large port-count-independent block (flow table, TCAM
+  emulation, parser, control agent) plus per-port MACs/queues ->
+  base + c*P.
+
+The model's claims that benches check: the calibration point is exact,
+DumbNet uses ~10x less area at small port counts, and the area DumbNet
+saves is what buys "more ports or larger packet buffers" (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "HardwareResources",
+    "dumbnet_switch_resources",
+    "openflow_switch_resources",
+    "reduction_factor",
+    "DUMBNET_VERILOG_LINES",
+]
+
+#: "only 1,228 lines of Verilog code" (Section 7.1).
+DUMBNET_VERILOG_LINES = 1228
+
+# DumbNet pipeline coefficients: LUTs = B + A*P + C*P^2, solved so that
+# P=4 reproduces the paper's 1,713 LUTs / 1,504 registers exactly.
+_DUMBNET_LUT = (153.0, 330.0, 15.0)
+_DUMBNET_REG = (140.0, 280.0, 15.25)
+
+# OpenFlow: flow-table/parser block + per-port overhead, anchored to the
+# paper's 4-port synthesis (16,070 LUTs / 17,193 registers).
+_OPENFLOW_LUT = (13000.0, 767.5)
+_OPENFLOW_REG = (14000.0, 798.25)
+
+
+@dataclass(frozen=True)
+class HardwareResources:
+    """Synthesis results: look-up tables and flip-flop registers."""
+
+    luts: int
+    registers: int
+
+    @property
+    def total(self) -> int:
+        return self.luts + self.registers
+
+
+def dumbnet_switch_resources(ports: int) -> HardwareResources:
+    """Modeled area of the two-stage DumbNet switch (Figure 5)."""
+    if ports < 1:
+        raise ValueError(f"need at least one port, got {ports}")
+    b, a, c = _DUMBNET_LUT
+    luts = b + a * ports + c * ports * ports
+    b, a, c = _DUMBNET_REG
+    regs = b + a * ports + c * ports * ports
+    return HardwareResources(luts=round(luts), registers=round(regs))
+
+
+def openflow_switch_resources(ports: int) -> HardwareResources:
+    """Modeled area of the NetFPGA OpenFlow switch at the same arity."""
+    if ports < 1:
+        raise ValueError(f"need at least one port, got {ports}")
+    base, per_port = _OPENFLOW_LUT
+    luts = base + per_port * ports
+    base, per_port = _OPENFLOW_REG
+    regs = base + per_port * ports
+    return HardwareResources(luts=round(luts), registers=round(regs))
+
+
+def reduction_factor(ports: int) -> float:
+    """How much smaller DumbNet is, in total elements (~10x at 4 ports)."""
+    dumb = dumbnet_switch_resources(ports)
+    of = openflow_switch_resources(ports)
+    return of.total / dumb.total

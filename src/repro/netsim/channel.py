@@ -1,0 +1,145 @@
+"""Point-to-point channels: the cables of the emulated fabric.
+
+A :class:`Channel` joins two (device, port) endpoints.  Each direction
+is an independent FIFO: a frame experiences serialization delay
+(size / bandwidth), propagation latency, optional jitter, and queues
+behind earlier frames in the same direction.  Channels also model the
+physical-layer port state (Section 4.2): taking a channel down delivers
+a port-down event to both endpoint devices after a detection delay,
+exactly the signal DumbNet switches turn into failure notifications.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Optional, TYPE_CHECKING
+
+from .events import EventLoop
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .device import Device
+
+__all__ = ["Channel", "ChannelEnd"]
+
+#: Physical port-state detection delay, seconds.  Real PHYs signal loss
+#: of light within tens to hundreds of microseconds.
+DEFAULT_DETECTION_DELAY = 100e-6
+
+
+class ChannelEnd:
+    """One plug of a channel: knows its device, port, and twin."""
+
+    def __init__(self, channel: "Channel", index: int) -> None:
+        self.channel = channel
+        self.index = index
+        self.device: Optional["Device"] = None
+        self.port: int = -1
+        # Per-direction transmit queue state: when the line frees up.
+        self.busy_until: float = 0.0
+
+    @property
+    def peer(self) -> "ChannelEnd":
+        return self.channel.ends[1 - self.index]
+
+    def attach(self, device: "Device", port: int) -> None:
+        if self.device is not None:
+            raise ValueError(f"channel end already attached to {self.device}")
+        self.device = device
+        self.port = port
+
+    def transmit(self, packet: Any, size_bits: float) -> bool:
+        """Send a frame toward the peer end.  Returns False if line down."""
+        return self.channel.transmit(self, packet, size_bits)
+
+
+class Channel:
+    """A bidirectional cable with bandwidth, latency and up/down state."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        bandwidth_bps: Optional[float] = None,
+        latency_s: float = 1e-6,
+        jitter_s: float = 0.0,
+        rng: Optional[random.Random] = None,
+        detection_delay_s: float = DEFAULT_DETECTION_DELAY,
+        loss_rate: float = 0.0,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss rate must be in [0, 1), got {loss_rate}")
+        if loss_rate > 0 and rng is None:
+            raise ValueError("a lossy channel needs an rng")
+        self.loop = loop
+        self.bandwidth_bps = bandwidth_bps
+        self.latency_s = latency_s
+        self.jitter_s = jitter_s
+        self.rng = rng
+        self.detection_delay_s = detection_delay_s
+        self.loss_rate = loss_rate
+        self.up = True
+        self.ends = (ChannelEnd(self, 0), ChannelEnd(self, 1))
+        self.frames_delivered = 0
+        self.frames_dropped = 0
+
+    # ------------------------------------------------------------------
+
+    def transmit(self, sender: ChannelEnd, packet: Any, size_bits: float) -> bool:
+        if not self.up:
+            self.frames_dropped += 1
+            return False
+        receiver = sender.peer
+        if receiver.device is None:
+            self.frames_dropped += 1
+            return False
+        if self.loss_rate > 0 and self.rng is not None:
+            if self.rng.random() < self.loss_rate:
+                # Corrupted on the wire: the sender still paid the
+                # serialization time but nothing arrives.
+                self.frames_dropped += 1
+                if self.bandwidth_bps:
+                    start = max(self.loop.now, sender.busy_until)
+                    sender.busy_until = start + size_bits / self.bandwidth_bps
+                return True
+        start = max(self.loop.now, sender.busy_until)
+        tx_time = 0.0
+        if self.bandwidth_bps:
+            tx_time = size_bits / self.bandwidth_bps
+        sender.busy_until = start + tx_time
+        latency = self.latency_s
+        if self.jitter_s and self.rng is not None:
+            latency += self.rng.uniform(0.0, self.jitter_s)
+        arrival = sender.busy_until + latency
+        self.loop.schedule_at(arrival, self._deliver, receiver, packet)
+        return True
+
+    def _deliver(self, receiver: ChannelEnd, packet: Any) -> None:
+        if not self.up:
+            self.frames_dropped += 1
+            return
+        assert receiver.device is not None
+        self.frames_delivered += 1
+        receiver.device.receive(receiver.port, packet)
+
+    # ------------------------------------------------------------------
+    # physical state (failure injection)
+
+    def set_up(self, up: bool) -> None:
+        """Change the line state and notify both endpoint devices.
+
+        Notification is delayed by the PHY detection time; frames already
+        in flight when the line goes down are dropped at delivery.
+        """
+        if up == self.up:
+            return
+        self.up = up
+        for end in self.ends:
+            if end.device is not None:
+                self.loop.schedule(
+                    self.detection_delay_s, end.device.port_state_changed, end.port, up
+                )
+
+    def fail(self) -> None:
+        self.set_up(False)
+
+    def restore(self) -> None:
+        self.set_up(True)

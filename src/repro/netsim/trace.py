@@ -1,0 +1,66 @@
+"""Trace recording for emulation runs.
+
+Experiments need per-event timestamps (Figure 11(a) plots the CDF of
+notification arrival times across hosts).  A :class:`Tracer` is a cheap
+append-only log of (time, category, detail) rows with small query
+helpers; devices call :meth:`record` and benchmarks slice afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time: float
+    category: str
+    node: str
+    detail: Any = None
+
+
+class Tracer:
+    """Append-only event log shared by the devices of one network."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.events: List[TraceEvent] = []
+
+    def record(self, time: float, category: str, node: str, detail: Any = None) -> None:
+        if self.enabled:
+            self.events.append(TraceEvent(time, category, node, detail))
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def by_category(self, category: str) -> List[TraceEvent]:
+        return [ev for ev in self.events if ev.category == category]
+
+    def first(self, category: str, node: Optional[str] = None) -> Optional[TraceEvent]:
+        for ev in self.events:
+            if ev.category == category and (node is None or ev.node == node):
+                return ev
+        return None
+
+    def times(self, category: str) -> List[float]:
+        return [ev.time for ev in self.events if ev.category == category]
+
+    def first_time_per_node(self, category: str) -> Dict[str, float]:
+        """Earliest event time of a category per node -- Figure 11(a) data."""
+        out: Dict[str, float] = {}
+        for ev in self.events:
+            if ev.category == category and ev.node not in out:
+                out[ev.node] = ev.time
+        return out
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)

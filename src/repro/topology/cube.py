@@ -1,0 +1,80 @@
+"""k-ary n-cube (torus) generator.
+
+The paper evaluates topology discovery on "cube" networks -- Figure 8(a)
+uses cubes with the controller at the corner or the center, Figure 8(b)
+an 8x8x8 cube, and Figure 12 a 10x10x10 cube.  We build an n-dimensional
+torus: each switch links to its neighbor in both directions of every
+dimension, with wraparound.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence, Tuple
+
+from .graph import Topology
+
+__all__ = ["cube", "cube_switch_name", "corner_switch", "center_switch"]
+
+
+def cube_switch_name(coord: Sequence[int]) -> str:
+    return "c" + "_".join(str(c) for c in coord)
+
+
+def cube(
+    dims: Sequence[int],
+    hosts_per_switch: int = 1,
+    num_ports: int = 64,
+    wraparound: bool = True,
+) -> Topology:
+    """Build a torus/mesh with side lengths ``dims``.
+
+    Ports 1..2n are the +/- direction per dimension; hosts occupy the
+    ports after them.  A side of length 2 gets a single link (wraparound
+    would duplicate it), and ``wraparound=False`` builds a plain mesh.
+    """
+    dims = list(dims)
+    if not dims or any(d < 1 for d in dims):
+        raise ValueError(f"bad cube dimensions {dims!r}")
+    n = len(dims)
+    if num_ports < 2 * n + hosts_per_switch:
+        raise ValueError(
+            f"need {2 * n + hosts_per_switch} ports for a {n}-cube with "
+            f"{hosts_per_switch} hosts, got {num_ports}"
+        )
+    topo = Topology()
+    coords = list(itertools.product(*(range(d) for d in dims)))
+    for coord in coords:
+        topo.add_switch(cube_switch_name(coord), num_ports)
+    for coord in coords:
+        for dim in range(n):
+            if dims[dim] == 1:
+                continue
+            nxt = list(coord)
+            nxt[dim] = (coord[dim] + 1) % dims[dim]
+            wraps = nxt[dim] <= coord[dim]
+            if wraps and (not wraparound or dims[dim] == 2):
+                continue
+            # Port 2*dim+1 faces +direction, 2*dim+2 faces -direction.
+            topo.add_link(
+                cube_switch_name(coord), 2 * dim + 1,
+                cube_switch_name(tuple(nxt)), 2 * dim + 2,
+            )
+    for coord in coords:
+        for h in range(hosts_per_switch):
+            topo.add_host(
+                f"h{cube_switch_name(coord)[1:]}_{h}",
+                cube_switch_name(coord),
+                2 * n + h + 1,
+            )
+    return topo
+
+
+def corner_switch(dims: Sequence[int]) -> str:
+    """The all-zeros corner, a controller placement in Figure 8(a)."""
+    return cube_switch_name([0] * len(dims))
+
+
+def center_switch(dims: Sequence[int]) -> str:
+    """The middle switch, the other controller placement in Figure 8(a)."""
+    return cube_switch_name([d // 2 for d in dims])

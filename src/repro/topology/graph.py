@@ -1,0 +1,517 @@
+"""Physical topology model for DumbNet fabrics.
+
+A :class:`Topology` describes the wiring of a data center fabric exactly
+the way the DumbNet paper does (Section 3.2, Figure 1): switches with
+numbered ports, hosts attached to switch ports, and point-to-point links
+between switch ports.
+
+DumbNet switches have no addresses in the dataplane sense -- a packet
+only carries output-port tags -- but every switch owns a factory-burned
+unique ID that it reports when it receives an ID-query tag (Section 4.1).
+The topology model therefore names switches by those IDs.
+
+The model is deliberately separate from the emulator (:mod:`repro.netsim`)
+and from the control plane (:mod:`repro.core`): the controller builds its
+*view* of the network as a ``Topology`` object, and the emulator
+instantiates the *ground truth* from another ``Topology`` object.  Tests
+compare the two for equality after discovery.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "PortRef",
+    "Link",
+    "HostAttachment",
+    "Topology",
+    "TopologyError",
+]
+
+
+class TopologyError(ValueError):
+    """Raised for malformed wiring: duplicate ports, unknown nodes, etc."""
+
+
+@dataclass(frozen=True, order=True)
+class PortRef:
+    """A (switch, port) endpoint.  Ports are numbered from 1.
+
+    Port 0 is reserved by the DumbNet dataplane for the switch-ID query
+    tag (Section 4.1) and can never be wired.
+    """
+
+    switch: str
+    port: int
+
+    def __str__(self) -> str:  # e.g. "S2-1", matching the paper's notation
+        return f"{self.switch}-{self.port}"
+
+
+@dataclass(frozen=True)
+class Link:
+    """An undirected switch-to-switch cable between two :class:`PortRef`."""
+
+    a: PortRef
+    b: PortRef
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise TopologyError(f"link connects port {self.a} to itself")
+
+    @property
+    def endpoints(self) -> Tuple[PortRef, PortRef]:
+        return (self.a, self.b)
+
+    def other(self, end: PortRef) -> PortRef:
+        if end == self.a:
+            return self.b
+        if end == self.b:
+            return self.a
+        raise TopologyError(f"{end} is not an endpoint of {self}")
+
+    def key(self) -> FrozenSet[PortRef]:
+        """Orientation-independent identity of the cable."""
+        return frozenset((self.a, self.b))
+
+    def __str__(self) -> str:
+        return f"{self.a}<->{self.b}"
+
+
+@dataclass(frozen=True)
+class HostAttachment:
+    """A host NIC plugged into a switch port."""
+
+    host: str
+    attachment: PortRef
+
+
+class Topology:
+    """Mutable wiring diagram of switches, hosts and links.
+
+    The class also carries the graph algorithms the DumbNet controller
+    needs: shortest paths with randomized tie-breaking (Section 4.3),
+    k-shortest paths for the PathTable (Section 5.2), and distance maps
+    used by the path-graph detour search (Algorithm 1).
+    """
+
+    def __init__(self) -> None:
+        self._switch_ports: Dict[str, int] = {}
+        self._hosts: Dict[str, PortRef] = {}
+        # Occupancy of every wired port: PortRef -> Link | HostAttachment
+        self._port_use: Dict[PortRef, object] = {}
+        self._links: Dict[FrozenSet[PortRef], Link] = {}
+        # Adjacency: switch -> list[(neighbor switch, Link)]
+        self._adj: Dict[str, List[Tuple[str, Link]]] = {}
+        self._hosts_on_switch: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+
+    def add_switch(self, switch: str, num_ports: int) -> None:
+        """Register a switch with ports numbered 1..num_ports."""
+        if switch in self._switch_ports:
+            raise TopologyError(f"duplicate switch {switch!r}")
+        if num_ports < 1:
+            raise TopologyError(f"switch {switch!r} needs at least one port")
+        self._switch_ports[switch] = num_ports
+        self._adj[switch] = []
+        self._hosts_on_switch[switch] = []
+
+    def add_host(self, host: str, switch: str, port: int) -> None:
+        """Plug a host NIC into ``switch`` at ``port``."""
+        if host in self._hosts:
+            raise TopologyError(f"duplicate host {host!r}")
+        ref = self._check_port(switch, port)
+        self._claim_port(ref, HostAttachment(host, ref))
+        self._hosts[host] = ref
+        self._hosts_on_switch[switch].append(host)
+
+    def add_link(self, sw_a: str, port_a: int, sw_b: str, port_b: int) -> Link:
+        """Wire a cable between two switch ports."""
+        if sw_a == sw_b:
+            raise TopologyError(f"switch {sw_a!r} cannot be cabled to itself")
+        ref_a = self._check_port(sw_a, port_a)
+        ref_b = self._check_port(sw_b, port_b)
+        link = Link(ref_a, ref_b)
+        if link.key() in self._links:
+            raise TopologyError(f"duplicate link {link}")
+        self._claim_port(ref_a, link)
+        self._claim_port(ref_b, link)
+        self._links[link.key()] = link
+        self._adj[sw_a].append((sw_b, link))
+        self._adj[sw_b].append((sw_a, link))
+        return link
+
+    def remove_link(self, sw_a: str, port_a: int, sw_b: str, port_b: int) -> None:
+        """Unplug a cable (used for failure injection and topology patches)."""
+        key = frozenset((PortRef(sw_a, port_a), PortRef(sw_b, port_b)))
+        link = self._links.pop(key, None)
+        if link is None:
+            raise TopologyError(f"no link {sw_a}-{port_a} <-> {sw_b}-{port_b}")
+        del self._port_use[link.a]
+        del self._port_use[link.b]
+        self._adj[link.a.switch] = [
+            (nbr, lnk) for nbr, lnk in self._adj[link.a.switch] if lnk is not link
+        ]
+        self._adj[link.b.switch] = [
+            (nbr, lnk) for nbr, lnk in self._adj[link.b.switch] if lnk is not link
+        ]
+
+    def remove_switch(self, switch: str) -> None:
+        """Remove a switch together with its links and host attachments."""
+        if switch not in self._switch_ports:
+            raise TopologyError(f"unknown switch {switch!r}")
+        for link in list(self.links_of(switch)):
+            self.remove_link(link.a.switch, link.a.port, link.b.switch, link.b.port)
+        for host in list(self._hosts_on_switch[switch]):
+            self.remove_host(host)
+        del self._switch_ports[switch]
+        del self._adj[switch]
+        del self._hosts_on_switch[switch]
+
+    def remove_host(self, host: str) -> None:
+        ref = self._hosts.pop(host, None)
+        if ref is None:
+            raise TopologyError(f"unknown host {host!r}")
+        del self._port_use[ref]
+        self._hosts_on_switch[ref.switch].remove(host)
+
+    def _check_port(self, switch: str, port: int) -> PortRef:
+        if switch not in self._switch_ports:
+            raise TopologyError(f"unknown switch {switch!r}")
+        if not 1 <= port <= self._switch_ports[switch]:
+            raise TopologyError(
+                f"port {port} out of range 1..{self._switch_ports[switch]} on {switch!r}"
+            )
+        return PortRef(switch, port)
+
+    def _claim_port(self, ref: PortRef, user: object) -> None:
+        if ref in self._port_use:
+            raise TopologyError(f"port {ref} already in use by {self._port_use[ref]}")
+        self._port_use[ref] = user
+
+    # ------------------------------------------------------------------
+    # queries
+
+    @property
+    def switches(self) -> List[str]:
+        return list(self._switch_ports)
+
+    @property
+    def hosts(self) -> List[str]:
+        return list(self._hosts)
+
+    @property
+    def links(self) -> List[Link]:
+        return list(self._links.values())
+
+    def num_ports(self, switch: str) -> int:
+        try:
+            return self._switch_ports[switch]
+        except KeyError:
+            raise TopologyError(f"unknown switch {switch!r}") from None
+
+    def has_switch(self, switch: str) -> bool:
+        return switch in self._switch_ports
+
+    def has_host(self, host: str) -> bool:
+        return host in self._hosts
+
+    def has_link(self, sw_a: str, port_a: int, sw_b: str, port_b: int) -> bool:
+        return frozenset((PortRef(sw_a, port_a), PortRef(sw_b, port_b))) in self._links
+
+    def host_port(self, host: str) -> PortRef:
+        """The switch port the host NIC is plugged into."""
+        try:
+            return self._hosts[host]
+        except KeyError:
+            raise TopologyError(f"unknown host {host!r}") from None
+
+    def hosts_on(self, switch: str) -> List[str]:
+        return list(self._hosts_on_switch.get(switch, ()))
+
+    def peer(self, switch: str, port: int) -> Optional[object]:
+        """What is plugged into (switch, port)?
+
+        Returns a :class:`PortRef` of the far end for a switch-switch
+        link, a :class:`HostAttachment` for a host, or ``None`` if the
+        port is empty.
+        """
+        user = self._port_use.get(PortRef(switch, port))
+        if user is None:
+            return None
+        if isinstance(user, Link):
+            return user.other(PortRef(switch, port))
+        return user
+
+    def links_of(self, switch: str) -> Iterator[Link]:
+        seen: Set[FrozenSet[PortRef]] = set()
+        for _nbr, link in self._adj.get(switch, ()):
+            if link.key() not in seen:
+                seen.add(link.key())
+                yield link
+
+    def neighbors(self, switch: str) -> List[str]:
+        """Distinct neighbor switches (parallel links collapse)."""
+        return sorted({nbr for nbr, _link in self._adj.get(switch, ())})
+
+    def links_between(self, sw_a: str, sw_b: str) -> List[Link]:
+        return [link for nbr, link in self._adj.get(sw_a, ()) if nbr == sw_b]
+
+    def degree(self, switch: str) -> int:
+        return len(self._adj.get(switch, ()))
+
+    # ------------------------------------------------------------------
+    # comparisons and copies
+
+    def copy(self) -> "Topology":
+        clone = Topology()
+        for switch, ports in self._switch_ports.items():
+            clone.add_switch(switch, ports)
+        for link in self._links.values():
+            clone.add_link(link.a.switch, link.a.port, link.b.switch, link.b.port)
+        for host, ref in self._hosts.items():
+            clone.add_host(host, ref.switch, ref.port)
+        return clone
+
+    def same_wiring(self, other: "Topology") -> bool:
+        """Structural equality: same switches, links and host attachments."""
+        return (
+            self._switch_ports.keys() == other._switch_ports.keys()
+            and set(self._links) == set(other._links)
+            and self._hosts == other._hosts
+        )
+
+    def is_connected(self) -> bool:
+        """True when every switch can reach every other switch."""
+        if not self._switch_ports:
+            return True
+        start = next(iter(self._switch_ports))
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            sw = frontier.pop()
+            for nbr in self.neighbors(sw):
+                if nbr not in seen:
+                    seen.add(nbr)
+                    frontier.append(nbr)
+        return len(seen) == len(self._switch_ports)
+
+    # ------------------------------------------------------------------
+    # graph algorithms used by the controller
+
+    def switch_distances(self, source: str) -> Dict[str, int]:
+        """Hop distance from ``source`` to every reachable switch (BFS)."""
+        if source not in self._switch_ports:
+            raise TopologyError(f"unknown switch {source!r}")
+        dist = {source: 0}
+        frontier = [source]
+        while frontier:
+            nxt: List[str] = []
+            for sw in frontier:
+                for nbr in self.neighbors(sw):
+                    if nbr not in dist:
+                        dist[nbr] = dist[sw] + 1
+                        nxt.append(nbr)
+            frontier = nxt
+        return dist
+
+    def shortest_switch_path(
+        self,
+        src: str,
+        dst: str,
+        rng: Optional[random.Random] = None,
+        link_costs: Optional[Dict[FrozenSet[PortRef], float]] = None,
+    ) -> Optional[List[str]]:
+        """One shortest switch sequence from ``src`` to ``dst``.
+
+        With ``rng`` the choice among equal-cost parents is randomized,
+        which is exactly how the paper's controller generates different
+        shortest paths for load balancing (Section 4.3).  ``link_costs``
+        lets the path-graph generator inflate primary-path links when it
+        computes the backup path.
+        """
+        if src not in self._switch_ports or dst not in self._switch_ports:
+            return None
+        if src == dst:
+            return [src]
+        dist: Dict[str, float] = {src: 0.0}
+        parents: Dict[str, List[str]] = {}
+        heap: List[Tuple[float, int, str]] = [(0.0, 0, src)]
+        counter = itertools.count(1)
+        while heap:
+            d, _tie, sw = heapq.heappop(heap)
+            if d > dist.get(sw, float("inf")):
+                continue
+            if sw == dst:
+                break
+            for nbr, link in self._adj[sw]:
+                cost = 1.0
+                if link_costs is not None:
+                    cost = link_costs.get(link.key(), 1.0)
+                nd = d + cost
+                old = dist.get(nbr, float("inf"))
+                if nd < old - 1e-12:
+                    dist[nbr] = nd
+                    parents[nbr] = [sw]
+                    heapq.heappush(heap, (nd, next(counter), nbr))
+                elif abs(nd - old) <= 1e-12 and sw not in parents.get(nbr, ()):
+                    parents.setdefault(nbr, []).append(sw)
+        if dst not in dist:
+            return None
+        # Walk back choosing a parent (randomly when rng given).
+        path = [dst]
+        cur = dst
+        while cur != src:
+            choices = parents[cur]
+            cur = rng.choice(choices) if rng is not None else choices[0]
+            path.append(cur)
+        path.reverse()
+        return path
+
+    def k_shortest_switch_paths(self, src: str, dst: str, k: int) -> List[List[str]]:
+        """Yen's algorithm for the k shortest loop-free switch sequences."""
+        if k < 1:
+            return []
+        first = self.shortest_switch_path(src, dst)
+        if first is None:
+            return []
+        paths = [first]
+        candidates: List[Tuple[int, int, List[str]]] = []
+        counter = itertools.count()
+        banned_links: Set[Tuple[str, str]]
+        while len(paths) < k:
+            prev = paths[-1]
+            for i in range(len(prev) - 1):
+                spur = prev[i]
+                root = prev[:i + 1]
+                banned_links = set()
+                for path in paths:
+                    if path[:i + 1] == root and len(path) > i + 1:
+                        banned_links.add((path[i], path[i + 1]))
+                banned_nodes = set(root[:-1])
+                spur_path = self._shortest_avoiding(spur, dst, banned_nodes, banned_links)
+                if spur_path is not None:
+                    total = root[:-1] + spur_path
+                    if total not in paths and all(c[2] != total for c in candidates):
+                        heapq.heappush(
+                            candidates, (len(total), next(counter), total)
+                        )
+            if not candidates:
+                break
+            _len, _tie, best = heapq.heappop(candidates)
+            paths.append(best)
+        return paths
+
+    def _shortest_avoiding(
+        self,
+        src: str,
+        dst: str,
+        banned_nodes: Set[str],
+        banned_links: Set[Tuple[str, str]],
+    ) -> Optional[List[str]]:
+        """BFS shortest path that avoids given nodes and directed edges."""
+        if src in banned_nodes:
+            return None
+        prev: Dict[str, Optional[str]] = {src: None}
+        frontier = [src]
+        while frontier:
+            nxt: List[str] = []
+            for sw in frontier:
+                if sw == dst:
+                    frontier = []
+                    break
+                for nbr in self.neighbors(sw):
+                    if nbr in prev or nbr in banned_nodes:
+                        continue
+                    if (sw, nbr) in banned_links:
+                        continue
+                    prev[nbr] = sw
+                    nxt.append(nbr)
+            else:
+                frontier = nxt
+                continue
+            break
+        if dst not in prev:
+            return None
+        path = [dst]
+        cur: Optional[str] = dst
+        while prev[cur] is not None:  # type: ignore[index]
+            cur = prev[cur]  # type: ignore[index]
+            path.append(cur)  # type: ignore[arg-type]
+        path.reverse()
+        return path
+
+    # ------------------------------------------------------------------
+    # tag encoding (Section 3.2)
+
+    def encode_path(self, src_host: str, switch_path: Sequence[str], dst_host: str) -> List[int]:
+        """Translate a switch sequence into the per-hop output-port tags.
+
+        ``switch_path`` must start at the switch ``src_host`` attaches to
+        and end at the switch ``dst_host`` attaches to.  The returned tag
+        list does *not* include the ø terminator; the packet layer adds it.
+        """
+        src_ref = self.host_port(src_host)
+        dst_ref = self.host_port(dst_host)
+        if not switch_path or switch_path[0] != src_ref.switch:
+            raise TopologyError(
+                f"path must start at {src_ref.switch!r} (host {src_host!r}), got {switch_path!r}"
+            )
+        if switch_path[-1] != dst_ref.switch:
+            raise TopologyError(
+                f"path must end at {dst_ref.switch!r} (host {dst_host!r}), got {switch_path!r}"
+            )
+        tags: List[int] = []
+        for here, there in zip(switch_path, switch_path[1:]):
+            parallel = self.links_between(here, there)
+            if not parallel:
+                raise TopologyError(f"no link between {here!r} and {there!r}")
+            link = parallel[0]
+            out = link.a if link.a.switch == here else link.b
+            tags.append(out.port)
+        tags.append(dst_ref.port)
+        return tags
+
+    def decode_tags(self, src_host: str, tags: Sequence[int]) -> List[str]:
+        """Follow ``tags`` hop by hop from ``src_host``; return switch sequence.
+
+        Raises :class:`TopologyError` if any tag points at an empty port
+        or the final tag does not land on a host.  Used by the path
+        verifier (Section 6.1) and by tests as ground truth.
+        """
+        ref = self.host_port(src_host)
+        current = ref.switch
+        visited = [current]
+        for i, tag in enumerate(tags):
+            peer = self.peer(current, tag)
+            last = i == len(tags) - 1
+            if isinstance(peer, HostAttachment):
+                if not last:
+                    raise TopologyError(
+                        f"tag {tag} at {current!r} hits host {peer.host!r} before path end"
+                    )
+                return visited
+            if peer is None:
+                raise TopologyError(f"tag {tag} at {current!r} points at an empty port")
+            assert isinstance(peer, PortRef)
+            current = peer.switch
+            visited.append(current)
+        raise TopologyError("tag list ends on a switch, not a host")
+
+    # ------------------------------------------------------------------
+
+    def summary(self) -> str:
+        return (
+            f"Topology(switches={len(self._switch_ports)}, "
+            f"links={len(self._links)}, hosts={len(self._hosts)})"
+        )
+
+    def __repr__(self) -> str:
+        return self.summary()

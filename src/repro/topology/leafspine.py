@@ -1,0 +1,65 @@
+"""Leaf-spine generator, matching the paper's testbed (Section 7).
+
+The testbed is 2 spine switches and 5 leaf switches; each leaf has 5
+servers and one 10 GE uplink to each spine.  Other experiments use 14
+hosts per leaf (aggregate-throughput test) so the host count is a knob.
+"""
+
+from __future__ import annotations
+
+from .graph import Topology
+
+__all__ = ["leaf_spine", "paper_testbed"]
+
+
+def leaf_spine(
+    spines: int,
+    leaves: int,
+    hosts_per_leaf: int,
+    num_ports: int = 64,
+    uplinks_per_pair: int = 1,
+) -> Topology:
+    """Build a 2-tier leaf-spine fabric.
+
+    Each leaf connects to each spine with ``uplinks_per_pair`` parallel
+    cables.  Leaf ports: 1..spines*uplinks face the spine layer, the rest
+    hold hosts.  Spine ports: one per (leaf, uplink).
+    """
+    if spines < 1 or leaves < 1:
+        raise ValueError("need at least one spine and one leaf")
+    uplink_ports = spines * uplinks_per_pair
+    if uplink_ports + hosts_per_leaf > num_ports:
+        raise ValueError(
+            f"leaf needs {uplink_ports + hosts_per_leaf} ports but has {num_ports}"
+        )
+    if leaves * uplinks_per_pair > num_ports:
+        raise ValueError("spine port count exceeded")
+
+    topo = Topology()
+    for s in range(spines):
+        topo.add_switch(f"spine{s}", num_ports)
+    for l in range(leaves):
+        topo.add_switch(f"leaf{l}", num_ports)
+    for l in range(leaves):
+        for s in range(spines):
+            for u in range(uplinks_per_pair):
+                leaf_port = s * uplinks_per_pair + u + 1
+                spine_port = l * uplinks_per_pair + u + 1
+                topo.add_link(f"leaf{l}", leaf_port, f"spine{s}", spine_port)
+    for l in range(leaves):
+        for h in range(hosts_per_leaf):
+            topo.add_host(f"h{l}_{h}", f"leaf{l}", uplink_ports + h + 1)
+    return topo
+
+
+def paper_testbed() -> Topology:
+    """The paper's 7-switch, 27-server testbed.
+
+    Leaf-spine with 2 spines and 5 leaves (10 switch-switch links).  The
+    paper attaches 5 servers per leaf plus two extra on the first two
+    leaves to reach 27.
+    """
+    topo = leaf_spine(spines=2, leaves=5, hosts_per_leaf=5, num_ports=64)
+    topo.add_host("h0_extra", "leaf0", 30)
+    topo.add_host("h1_extra", "leaf1", 30)
+    return topo

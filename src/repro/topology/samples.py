@@ -1,0 +1,82 @@
+"""Hand-wired sample topologies from the paper's figures.
+
+:func:`figure1` reproduces the exact example of Section 3.2 / Figure 1,
+including the port numbering used in the worked probing examples of
+Section 4.1 (e.g. probing message ``1-1-9-ø`` from C3 discovers the
+S3-1 <-> S1-1 link).
+"""
+
+from __future__ import annotations
+
+from .graph import Topology
+
+__all__ = ["figure1", "line", "ring"]
+
+
+def figure1() -> Topology:
+    """The five-switch example of Figure 1.
+
+    The wiring is derived from the worked probing examples of Section
+    4.1, which pin down every port number:
+
+    * C3 attaches to S3 port 9 (PM ``9-ø`` bounces back).
+    * S3-1 <-> S1-1 (PM ``1-1-9-ø`` bounces back).
+    * S3-2 <-> S2-1 (S1 and S2 share the return path ``1-9-ø`` -- the
+      ambiguity example requires *both* S1-1 and S2-1 to face S3).
+    * S1-2 <-> S4-2 (confirmed by the verification probe).
+    * S2-2 <-> S4-1 (the other arm of the ambiguity).
+    * S2-3 <-> S5-2 and S4-3 <-> S5-1 close the right column.
+    * H1 on S1-5, H3 on S3-5, H5 on S5-5 (PM ``5-9-ø`` reaches H3 and
+      ``1-5-1-9-ø`` reaches H1), H2 on S4-5, H4 on S4-6.
+
+    Note: the Section 3.2 example encodes H4->H5 via S4-S2-S5 as
+    ``2-3-5-ø``, which contradicts the Section 4.1 link S1-2 <-> S4-2;
+    with this wiring the same route encodes as ``1-3-5-ø``.  We follow
+    Section 4.1 because the discovery tests replay its probes verbatim.
+    """
+    topo = Topology()
+    for sw in ("S1", "S2", "S3", "S4", "S5"):
+        topo.add_switch(sw, 16)
+    topo.add_link("S3", 1, "S1", 1)
+    topo.add_link("S3", 2, "S2", 1)
+    topo.add_link("S1", 2, "S4", 2)
+    topo.add_link("S2", 2, "S4", 1)
+    topo.add_link("S2", 3, "S5", 2)
+    topo.add_link("S4", 3, "S5", 1)
+    topo.add_host("H1", "S1", 5)
+    topo.add_host("H2", "S4", 5)
+    topo.add_host("C3", "S3", 9)
+    topo.add_host("H3", "S3", 5)
+    topo.add_host("H4", "S4", 6)
+    topo.add_host("H5", "S5", 5)
+    return topo
+
+
+def line(num_switches: int, hosts_per_switch: int = 1, num_ports: int = 8) -> Topology:
+    """A chain of switches -- the simplest multi-hop test fixture."""
+    if num_switches < 1:
+        raise ValueError("need at least one switch")
+    topo = Topology()
+    for i in range(num_switches):
+        topo.add_switch(f"L{i}", num_ports)
+    for i in range(num_switches - 1):
+        topo.add_link(f"L{i}", 2, f"L{i + 1}", 1)
+    for i in range(num_switches):
+        for h in range(hosts_per_switch):
+            topo.add_host(f"hL{i}_{h}", f"L{i}", 3 + h)
+    return topo
+
+
+def ring(num_switches: int, hosts_per_switch: int = 1, num_ports: int = 8) -> Topology:
+    """A cycle of switches -- gives every pair two disjoint paths."""
+    if num_switches < 3:
+        raise ValueError("a ring needs at least three switches")
+    topo = Topology()
+    for i in range(num_switches):
+        topo.add_switch(f"R{i}", num_ports)
+    for i in range(num_switches):
+        topo.add_link(f"R{i}", 2, f"R{(i + 1) % num_switches}", 1)
+    for i in range(num_switches):
+        for h in range(hosts_per_switch):
+            topo.add_host(f"hR{i}_{h}", f"R{i}", 3 + h)
+    return topo

@@ -1,0 +1,68 @@
+"""Topology serialization: JSON blueprints for fabrics.
+
+Operators hand DumbNet a wiring blueprint for the verification
+bootstrap (Section 4.1), and controllers persist their discovered view
+for post-mortems.  The format is deliberately dumb: a dict of switches
+(with port counts), links as 4-tuples, and host attachments.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .graph import Topology, TopologyError
+
+__all__ = ["topology_to_dict", "topology_from_dict", "dumps", "loads"]
+
+FORMAT_VERSION = 1
+
+
+def topology_to_dict(topology: Topology) -> Dict[str, Any]:
+    """A JSON-ready description of the wiring."""
+    return {
+        "format": FORMAT_VERSION,
+        "switches": {
+            switch: topology.num_ports(switch) for switch in topology.switches
+        },
+        "links": [
+            [link.a.switch, link.a.port, link.b.switch, link.b.port]
+            for link in topology.links
+        ],
+        "hosts": {
+            host: [topology.host_port(host).switch, topology.host_port(host).port]
+            for host in topology.hosts
+        },
+    }
+
+
+def topology_from_dict(data: Dict[str, Any]) -> Topology:
+    """Rebuild a topology; validates as it wires."""
+    if data.get("format") != FORMAT_VERSION:
+        raise TopologyError(
+            f"unsupported blueprint format {data.get('format')!r}"
+        )
+    topo = Topology()
+    switches = data.get("switches")
+    if not isinstance(switches, dict):
+        raise TopologyError("blueprint missing 'switches' mapping")
+    for switch, ports in switches.items():
+        topo.add_switch(str(switch), int(ports))
+    for entry in data.get("links", []):
+        if len(entry) != 4:
+            raise TopologyError(f"malformed link entry {entry!r}")
+        sw_a, port_a, sw_b, port_b = entry
+        topo.add_link(str(sw_a), int(port_a), str(sw_b), int(port_b))
+    for host, attachment in data.get("hosts", {}).items():
+        if len(attachment) != 2:
+            raise TopologyError(f"malformed host entry {host!r}: {attachment!r}")
+        topo.add_host(str(host), str(attachment[0]), int(attachment[1]))
+    return topo
+
+
+def dumps(topology: Topology, indent: int = 2) -> str:
+    return json.dumps(topology_to_dict(topology), indent=indent, sort_keys=True)
+
+
+def loads(text: str) -> Topology:
+    return topology_from_dict(json.loads(text))

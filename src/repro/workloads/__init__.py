@@ -1,0 +1,51 @@
+"""Workload generators: iperf analogue, HiBench analogue, matrices."""
+
+from .iperf import CbrStream, RttSample, measure_rtts
+from .hibench import HIBENCH_TASKS, Stage, TaskSpec, hibench_task, run_task
+from .incast import (
+    IncastSpec,
+    drive_incast_packets,
+    incast_flows,
+    run_incast_fluid,
+)
+from .traces import (
+    DATA_MINING_CDF,
+    TraceWorkload,
+    WEB_SEARCH_CDF,
+    mean_flow_bits,
+    sample_flow_bits,
+)
+from .traffic import (
+    all_to_all_pairs,
+    hotspot_pairs,
+    pareto_flow_bits,
+    permutation_pairs,
+    poisson_arrivals,
+    stride_pairs,
+)
+
+__all__ = [
+    "CbrStream",
+    "measure_rtts",
+    "RttSample",
+    "hibench_task",
+    "run_task",
+    "TaskSpec",
+    "Stage",
+    "HIBENCH_TASKS",
+    "permutation_pairs",
+    "all_to_all_pairs",
+    "stride_pairs",
+    "hotspot_pairs",
+    "pareto_flow_bits",
+    "poisson_arrivals",
+    "IncastSpec",
+    "incast_flows",
+    "run_incast_fluid",
+    "drive_incast_packets",
+    "TraceWorkload",
+    "WEB_SEARCH_CDF",
+    "DATA_MINING_CDF",
+    "sample_flow_bits",
+    "mean_flow_bits",
+]

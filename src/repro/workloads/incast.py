@@ -1,0 +1,101 @@
+"""Incast workload: many senders converge on one receiver.
+
+The classic data-center pathology (partition/aggregate applications):
+N workers answer one aggregator at once, and the receiver's last-hop
+port becomes the bottleneck.  Used to exercise ECN marking and the
+congestion-aware rerouting extension, and as a stress pattern for the
+fluid simulator.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.fabric import DumbNetFabric
+from ..flowsim.simulator import FluidSimulator
+
+__all__ = ["IncastSpec", "incast_flows", "run_incast_fluid", "drive_incast_packets"]
+
+
+@dataclass(frozen=True)
+class IncastSpec:
+    """One incast round: senders, the sink, and per-sender volume."""
+
+    sink: str
+    senders: Tuple[str, ...]
+    bits_per_sender: float
+    start_s: float = 0.0
+
+
+def incast_flows(
+    hosts: Sequence[str],
+    fanin: int,
+    bits_per_sender: float,
+    rng: Optional[random.Random] = None,
+    start_s: float = 0.0,
+) -> IncastSpec:
+    """Pick a sink and ``fanin`` senders from the host list."""
+    if len(hosts) < fanin + 1:
+        raise ValueError(f"need {fanin + 1} hosts, got {len(hosts)}")
+    rng = rng or random.Random(0)
+    chosen = rng.sample(list(hosts), fanin + 1)
+    return IncastSpec(
+        sink=chosen[0],
+        senders=tuple(chosen[1:]),
+        bits_per_sender=bits_per_sender,
+        start_s=start_s,
+    )
+
+
+def run_incast_fluid(simulator: FluidSimulator, spec: IncastSpec) -> float:
+    """Run one incast round in the fluid simulator; returns duration.
+
+    With N senders into one NIC, the ideal duration is
+    N * bits_per_sender / NIC rate -- tests assert the simulator hits it.
+    """
+    tag = ("incast", spec.sink, spec.start_s)
+    for sender in spec.senders:
+        simulator.add_flow(
+            sender, spec.sink, spec.bits_per_sender, start_s=spec.start_s, tag=tag
+        )
+    simulator.run()
+    done = simulator.completion_time(tag)
+    if done is None:
+        raise RuntimeError("incast stalled: sink unreachable?")
+    return done - spec.start_s
+
+
+def drive_incast_packets(
+    fabric: DumbNetFabric,
+    spec: IncastSpec,
+    packet_bytes: int = 1450,
+    packets_per_sender: int = 20,
+    gap_s: float = 0.0,
+) -> int:
+    """Blast the incast through the packet-level emulator.
+
+    Every sender transmits its burst simultaneously (plus ``gap_s``
+    pacing); returns how many packets the sink delivered.  Useful with
+    :class:`~repro.core.ecn.EcnSwitch` fabrics: the sink's last-hop
+    backlog marks packets, observable via ``switch.packets_marked``.
+    """
+    for sender in spec.senders:
+        agent = fabric.agents[sender]
+        for i in range(packets_per_sender):
+            fabric.loop.schedule(
+                spec.start_s + i * gap_s,
+                agent.send_app,
+                spec.sink,
+                ("incast", sender, i),
+                packet_bytes,
+                (sender, spec.sink),
+            )
+    fabric.run_until_idle()
+    sink = fabric.agents[spec.sink]
+    return sum(
+        1
+        for _t, _s, payload in sink.delivered
+        if isinstance(payload, tuple) and payload and payload[0] == "incast"
+    )

@@ -1,0 +1,33 @@
+"""Shared fixtures: canonical topologies and bootstrapped fabrics."""
+
+import pytest
+
+from repro.core.fabric import DumbNetFabric
+from repro.topology import figure1, leaf_spine, line, paper_testbed, ring
+
+
+@pytest.fixture
+def fig1_topo():
+    return figure1()
+
+
+@pytest.fixture
+def testbed_topo():
+    return paper_testbed()
+
+
+@pytest.fixture
+def fig1_fabric():
+    """The Figure 1 example, bootstrapped with C3 as controller."""
+    fabric = DumbNetFabric(figure1(), controller_host="C3", seed=7)
+    fabric.bootstrap()
+    return fabric
+
+
+@pytest.fixture
+def small_fabric():
+    """A small leaf-spine fabric with a blueprint bootstrap (fast)."""
+    topo = leaf_spine(spines=2, leaves=3, hosts_per_leaf=2, num_ports=16)
+    fabric = DumbNetFabric(topo, controller_host="h0_0", seed=11)
+    fabric.adopt_blueprint()
+    return fabric

@@ -1,0 +1,101 @@
+"""CLI tests: every subcommand end to end through temp files."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.topology import dumps, paper_testbed
+
+
+@pytest.fixture
+def blueprint(tmp_path):
+    path = tmp_path / "testbed.json"
+    path.write_text(dumps(paper_testbed()))
+    return str(path)
+
+
+class TestGenerate:
+    def test_generate_to_file(self, tmp_path):
+        out = tmp_path / "ft.json"
+        assert main(["generate", "fattree", "--k", "4", "--out", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert len(data["switches"]) == 20
+
+    def test_generate_stdout(self, capsys):
+        assert main(["generate", "figure1"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "S3" in data["switches"]
+
+    def test_generate_leafspine(self, capsys):
+        assert main(
+            ["generate", "leafspine", "--spines", "2", "--leaves", "3",
+             "--hosts", "2", "--ports", "16"]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["hosts"]) == 6
+
+    def test_generate_cube_and_jellyfish(self, capsys):
+        assert main(["generate", "cube", "--side", "2", "--dims", "2",
+                     "--ports", "8"]) == 0
+        assert main(["generate", "jellyfish", "--switches", "8",
+                     "--degree", "3"]) == 0
+
+    def test_generate_testbed(self, capsys):
+        assert main(["generate", "testbed"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["hosts"]) == 27
+
+
+class TestInfo:
+    def test_info(self, blueprint, capsys):
+        assert main(["info", blueprint]) == 0
+        out = capsys.readouterr().out
+        assert "switches=7" in out
+        assert "diameter:  2" in out
+
+
+class TestValidate:
+    def test_valid_blueprint(self, blueprint, capsys):
+        assert main(["validate", blueprint]) == 0
+
+    def test_tag_budget_violation(self, tmp_path, capsys):
+        from repro.topology import line
+
+        path = tmp_path / "long.json"
+        path.write_text(dumps(line(40)))
+        assert main(["validate", str(path), "--max-tags", "8"]) == 1
+        assert "ERROR" in capsys.readouterr().out
+
+
+class TestDiscover:
+    def test_full_discovery(self, blueprint, capsys):
+        assert main(["discover", blueprint]) == 0
+        out = capsys.readouterr().out
+        assert "7 switches" in out
+        assert "matches blueprint: True" in out
+
+    def test_explicit_origin(self, blueprint, capsys):
+        assert main(["discover", blueprint, "--origin", "h3_1"]) == 0
+
+    def test_unknown_origin(self, blueprint, capsys):
+        assert main(["discover", blueprint, "--origin", "ghost"]) == 1
+
+    def test_verification_mode(self, blueprint, capsys):
+        assert main(["discover", blueprint, "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "verification bootstrap" in out
+
+
+class TestFail:
+    def test_link_failure_timeline(self, blueprint, capsys):
+        assert main(["fail", blueprint, "leaf2:1:spine0:3"]) == 0
+        out = capsys.readouterr().out
+        assert "stage 1" in out and "stage 2" in out
+        assert "controller view updated: True" in out
+
+    def test_unknown_link(self, blueprint, capsys):
+        assert main(["fail", blueprint, "leaf2:9:spine0:9"]) == 1
+
+    def test_malformed_link(self, blueprint):
+        assert main(["fail", blueprint, "nonsense"]) == 2

@@ -1,0 +1,116 @@
+"""Stateful property testing of the quorum log.
+
+A hypothesis rule-based state machine drives the cluster through
+arbitrary interleavings of appends, crashes, recoveries, partitions,
+heals and elections, checking the safety property ZooKeeper gives the
+paper's controllers: **exposed (committed) entries are never lost and
+never reordered** -- any two live replicas agree on the committed
+prefix, and every value a client was told "committed" stays committed.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.consensus import Cluster, NotLeaderError, QuorumLostError
+
+NODE_NAMES = ("n0", "n1", "n2", "n3", "n4")
+
+
+class QuorumLogMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.cluster = Cluster(list(NODE_NAMES))
+        self.cluster.elect_any()
+        self.acknowledged = []  # entries a client saw commit, in order
+        self.counter = 0
+
+    # ------------------------------------------------------------------
+    # actions
+
+    @rule()
+    def append(self):
+        self.counter += 1
+        value = f"v{self.counter}"
+        try:
+            self.cluster.append(value)
+        except (NotLeaderError, QuorumLostError):
+            return  # rejected writes may not be exposed -- fine
+        self.acknowledged.append(value)
+
+    @rule(index=st.integers(min_value=0, max_value=len(NODE_NAMES) - 1))
+    def crash(self, index):
+        self.cluster.nodes[NODE_NAMES[index]].crash()
+        if self.cluster.leader == NODE_NAMES[index]:
+            self.cluster.leader = None
+
+    @rule(index=st.integers(min_value=0, max_value=len(NODE_NAMES) - 1))
+    def recover(self, index):
+        self.cluster.nodes[NODE_NAMES[index]].recover()
+
+    @rule(
+        a=st.integers(min_value=0, max_value=len(NODE_NAMES) - 1),
+        b=st.integers(min_value=0, max_value=len(NODE_NAMES) - 1),
+    )
+    def partition(self, a, b):
+        if a != b:
+            self.cluster.partition(NODE_NAMES[a], NODE_NAMES[b])
+
+    @rule()
+    def heal_all(self):
+        self.cluster.heal()
+
+    @rule(index=st.integers(min_value=0, max_value=len(NODE_NAMES) - 1))
+    def elect(self, index):
+        self.cluster.elect(NODE_NAMES[index])
+
+    @rule()
+    def elect_any(self):
+        self.cluster.elect_any()
+
+    # ------------------------------------------------------------------
+    # safety invariants
+
+    @invariant()
+    def committed_prefixes_agree(self):
+        """Any two replicas' committed prefixes are consistent."""
+        nodes = list(self.cluster.nodes.values())
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1:]:
+                shorter = min(a.commit_index, b.commit_index)
+                assert (
+                    [e.payload for e in a.log[:shorter]]
+                    == [e.payload for e in b.log[:shorter]]
+                ), f"{a.name} and {b.name} diverge in committed prefix"
+
+    @invariant()
+    def acknowledged_entries_survive(self):
+        """Every client-acknowledged value is committed, in order, on
+        at least a majority of replicas."""
+        if not self.acknowledged:
+            return
+        holders = 0
+        for node in self.cluster.nodes.values():
+            committed = [e.payload for e in node.log[: node.commit_index]]
+            if _is_subsequence(self.acknowledged, committed):
+                holders += 1
+        assert holders >= self.cluster.majority, (
+            f"acknowledged {self.acknowledged} held by only "
+            f"{holders}/{len(self.cluster.nodes)} replicas"
+        )
+
+
+def _is_subsequence(needle, haystack):
+    it = iter(haystack)
+    return all(item in it for item in needle)
+
+
+TestQuorumLog = QuorumLogMachine.TestCase
+TestQuorumLog.settings = settings(
+    max_examples=60, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,156 @@
+"""Controller tests: path service, gossip overlay, patches, reprobes."""
+
+import pytest
+
+from repro.core.fabric import DumbNetFabric
+from repro.core.messages import TopologyChange
+from repro.topology import figure1, leaf_spine, paper_testbed
+
+
+@pytest.fixture
+def fabric():
+    fab = DumbNetFabric(figure1(), controller_host="C3", seed=5)
+    fab.bootstrap()
+    return fab
+
+
+class TestPathService:
+    def test_request_produces_usable_paths(self, fabric):
+        h1 = fabric.agents["H1"]
+        h1.send_app("H2", "x")
+        fabric.run_until_idle()
+        entry = h1.path_table.entry("H2")
+        assert entry is not None and entry.primaries
+        # Every cached path must decode to a real route ending at H2.
+        topo = fabric.topology
+        for path in entry.primaries:
+            assert topo.decode_tags("H1", list(path.tags))[-1] == "S4"
+
+    def test_backup_path_cached(self, fabric):
+        h4 = fabric.agents["H4"]
+        h4.send_app("H5", "x")
+        fabric.run_until_idle()
+        entry = h4.path_table.entry("H5")
+        assert entry.backup is not None
+        # Backup must avoid the primary's first hop when possible.
+        assert entry.backup.tags != entry.primaries[0].tags
+
+    def test_served_counter(self, fabric):
+        before = fabric.controller.path_requests_served
+        fabric.agents["H1"].send_app("H5", "x")
+        fabric.run_until_idle()
+        assert fabric.controller.path_requests_served == before + 1
+
+    def test_unknown_destination_not_found(self, fabric):
+        h1 = fabric.agents["H1"]
+        h1.send_app("nobody", "x")
+        fabric.run_until_idle()
+        assert h1.path_table.entry("nobody") is None
+
+
+class TestGossipOverlay:
+    def test_every_host_has_neighbors(self, fabric):
+        overlay = fabric.controller.compute_gossip_overlay()
+        for host in fabric.topology.hosts:
+            assert overlay[host], f"{host} has no gossip neighbors"
+
+    def test_controller_reachable_in_overlay(self, fabric):
+        overlay = fabric.controller.compute_gossip_overlay()
+        for host, neighbors in overlay.items():
+            if host == "C3":
+                continue
+            names = {n for n, _tags in neighbors}
+            assert "C3" in names or names, f"{host}: {names}"
+
+    def test_overlay_floods_the_whole_network(self, fabric):
+        """A message flooded along the overlay reaches every host."""
+        overlay = fabric.controller.compute_gossip_overlay()
+        reached = {"H1"}
+        frontier = ["H1"]
+        while frontier:
+            host = frontier.pop()
+            for neighbor, _tags in overlay[host]:
+                if neighbor not in reached:
+                    reached.add(neighbor)
+                    frontier.append(neighbor)
+        assert reached == set(fabric.topology.hosts)
+
+    def test_fanout_cap_respected(self):
+        topo = leaf_spine(2, 3, 6, num_ports=32)
+        fab = DumbNetFabric(topo, controller_host="h0_0", seed=2)
+        fab.adopt_blueprint()
+        overlay = fab.controller.compute_gossip_overlay()
+        cap = fab.controller.config.gossip_fanout
+        for host, neighbors in overlay.items():
+            assert len(neighbors) <= cap
+
+
+class TestFailureStage2:
+    def test_view_patched_on_link_down(self, fabric):
+        assert fabric.controller.view.has_link("S2", 3, "S5", 2)
+        fabric.fail_link("S2", 3, "S5", 2)
+        fabric.run_until_idle()
+        assert not fabric.controller.view.has_link("S2", 3, "S5", 2)
+
+    def test_patch_reaches_all_hosts(self, fabric):
+        fabric.fail_link("S2", 3, "S5", 2)
+        fabric.run_until_idle()
+        patched = fabric.tracer.first_time_per_node("patch-received")
+        hosts = set(fabric.topology.hosts) - {"C3"}
+        assert hosts <= set(patched)
+
+    def test_patch_after_stage1(self, fabric):
+        fabric.fail_link("S2", 3, "S5", 2)
+        fabric.run_until_idle()
+        news = fabric.tracer.first_time_per_node("news-received")
+        patched = fabric.tracer.first_time_per_node("patch-received")
+        for host in patched:
+            if host in news:
+                assert news[host] <= patched[host]
+
+    def test_replicator_hook_called(self, fabric):
+        log = []
+
+        class FakeReplicator:
+            def append(self, change):
+                log.append(change)
+
+        fabric.controller.replicator = FakeReplicator()
+        fabric.fail_link("S2", 3, "S5", 2)
+        fabric.run_until_idle()
+        assert any(
+            isinstance(c, TopologyChange) and c.op == "link-down" for c in log
+        )
+
+
+class TestReprobe:
+    def test_link_restoration_rediscovered(self, fabric):
+        fabric.fail_link("S2", 3, "S5", 2)
+        fabric.run_until_idle()
+        assert not fabric.controller.view.has_link("S2", 3, "S5", 2)
+        fabric.restore_link("S2", 3, "S5", 2)
+        fabric.run_until_idle()
+        assert fabric.controller.view.has_link("S2", 3, "S5", 2)
+        assert fabric.controller.reprobes_run >= 1
+
+    def test_restored_link_usable_by_hosts(self, fabric):
+        # Cut BOTH links to S5 so H5 is unreachable, then restore one.
+        fabric.fail_link("S2", 3, "S5", 2)
+        fabric.fail_link("S4", 3, "S5", 1)
+        fabric.run_until_idle()
+        fabric.restore_link("S4", 3, "S5", 1)
+        fabric.run_until_idle()
+        h4 = fabric.agents["H4"]
+        h4.send_app("H5", "revived")
+        fabric.run_until_idle()
+        assert "revived" in [d[2] for d in fabric.agents["H5"].delivered]
+
+
+class TestBlueprintBootstrap:
+    def test_adopt_blueprint_matches_discovery(self):
+        topo = paper_testbed()
+        by_probe = DumbNetFabric(topo.copy(), controller_host="h0_0", seed=1)
+        probe_view = by_probe.bootstrap().view
+        by_blueprint = DumbNetFabric(topo.copy(), controller_host="h0_0", seed=1)
+        by_blueprint.adopt_blueprint()
+        assert by_blueprint.controller.view.same_wiring(probe_view)

@@ -1,0 +1,256 @@
+"""Topology discovery tests: oracle transport, BFS, verification mode."""
+
+import pytest
+
+from repro.core.discovery import (
+    DiscoveryError,
+    OracleProbeTransport,
+    ProbeSpec,
+    discover,
+    route_tags,
+    verify_expected_topology,
+)
+from repro.core.packet import ID_QUERY
+from repro.topology import (
+    Topology,
+    cube,
+    fat_tree,
+    figure1,
+    jellyfish,
+    leaf_spine,
+    line,
+    paper_testbed,
+    random_connected,
+    ring,
+)
+
+
+def oracle_for(topo, origin, controllers=None):
+    return OracleProbeTransport(topo, origin, controller_hosts=controllers or set())
+
+
+class TestOracleWalk:
+    """The oracle must mirror DumbSwitch semantics exactly."""
+
+    def test_bounce_with_id(self):
+        topo = figure1()
+        transport = oracle_for(topo, "C3")
+        # 0-9-ø: query S3's ID, come straight back.
+        (outcome,) = transport.probe_round([ProbeSpec(tags=(ID_QUERY, 9))])
+        assert outcome is not None and outcome.kind == "id"
+        assert outcome.switch_id == "S3"
+
+    def test_link_bounce_from_paper(self):
+        topo = figure1()
+        transport = oracle_for(topo, "C3")
+        # Section 4.1: PM 1-0-1-9-ø discovers S1 via the S3-1/S1-1 link.
+        (outcome,) = transport.probe_round(
+            [ProbeSpec(tags=(1, ID_QUERY, 1, 9))]
+        )
+        assert outcome.kind == "id" and outcome.switch_id == "S1"
+
+    def test_host_probe_from_paper(self):
+        topo = figure1()
+        transport = oracle_for(topo, "C3")
+        # PM to S3 port 5 reaches H3, which replies along 9-ø.
+        (outcome,) = transport.probe_round(
+            [ProbeSpec(tags=(5,), reply_tags=(9,))]
+        )
+        assert outcome.kind == "host" and outcome.host == "H3"
+
+    def test_lost_probe(self):
+        topo = figure1()
+        transport = oracle_for(topo, "C3")
+        (outcome,) = transport.probe_round([ProbeSpec(tags=(8,))])  # empty port
+        assert outcome is None
+
+    def test_host_with_extra_tags_dropped(self):
+        topo = figure1()
+        transport = oracle_for(topo, "C3")
+        (outcome,) = transport.probe_round(
+            [ProbeSpec(tags=(5, 3), reply_tags=(9,))]
+        )
+        assert outcome is None
+
+    def test_ambiguity_bounces_both_ways(self):
+        """Section 4.1: probing S1's port 2 bounces for two different
+        return ports because S1 and S2 share the return path 1-9-ø."""
+        topo = figure1()
+        transport = oracle_for(topo, "C3")
+        outcomes = transport.probe_round(
+            [
+                ProbeSpec(tags=(1, 2, ID_QUERY, 1) + (1, 9)),
+                ProbeSpec(tags=(1, 2, ID_QUERY, 2) + (1, 9)),
+            ]
+        )
+        # r=1 returns via S2, r=2 returns via S1; both reach C3 and both
+        # report S4's ID (the 0 tag was consumed at S4).
+        assert all(o is not None and o.switch_id == "S4" for o in outcomes)
+
+    def test_verification_probe_distinguishes(self):
+        topo = figure1()
+        transport = oracle_for(topo, "C3")
+        outcomes = transport.probe_round(
+            [
+                ProbeSpec(tags=(1, 2, 1, ID_QUERY) + (1, 9)),
+                ProbeSpec(tags=(1, 2, 2, ID_QUERY) + (1, 9)),
+            ]
+        )
+        # S4 out port 1 transits S2; out port 2 transits S1.
+        assert outcomes[0].switch_id == "S2"
+        assert outcomes[1].switch_id == "S1"
+
+    def test_reply_counts_as_message(self):
+        topo = figure1()
+        transport = oracle_for(topo, "C3")
+        transport.probe_round([ProbeSpec(tags=(5,), reply_tags=(9,))])
+        assert transport.probes_sent == 2  # probe + host reply
+        assert transport.replies_received == 1
+
+
+class TestDiscovery:
+    @pytest.mark.parametrize(
+        "topo_factory,origin",
+        [
+            (figure1, "C3"),
+            (lambda: line(4), "hL0_0"),
+            (lambda: ring(5), "hR2_0"),
+            (paper_testbed, "h0_0"),
+            (lambda: leaf_spine(2, 3, 2, num_ports=16), "h1_0"),
+            (lambda: fat_tree(4), "h0_0_0"),
+            (lambda: cube([3, 3], num_ports=8), "h0_0_0"),
+            (lambda: jellyfish(10, 3, seed=4), "h_j0_0"),
+            (lambda: random_connected(8, extra_links=4, seed=9), "h_r3_0"),
+        ],
+    )
+    def test_full_discovery_matches_ground_truth(self, topo_factory, origin):
+        topo = topo_factory()
+        result = discover(oracle_for(topo, origin), origin)
+        assert result.view.same_wiring(topo), (
+            f"discovered {result.view.summary()} != truth {topo.summary()}"
+        )
+
+    def test_finds_controllers(self):
+        topo = figure1()
+        result = discover(oracle_for(topo, "H1", controllers={"C3"}), "H1")
+        assert result.controller_hosts == ["C3"]
+
+    def test_origin_attachment(self):
+        topo = figure1()
+        result = discover(oracle_for(topo, "C3"), "C3")
+        assert result.origin_attachment == ("S3", 9)
+
+    def test_ambiguities_resolved_on_figure1(self):
+        topo = figure1()
+        result = discover(oracle_for(topo, "C3"), "C3")
+        assert result.stats.ambiguities_resolved >= 1
+        assert result.stats.verifications >= result.stats.ambiguities_resolved
+
+    def test_unreachable_host_raises(self):
+        topo = Topology()
+        topo.add_switch("S", 4)
+        topo.add_host("lonely", "S", 1)
+        # Break the attachment by building the oracle against a copy
+        # where the host's switch has zero usable return: simulate by
+        # probing from a host on a switch with no ports beyond its own.
+        # A host alone on a switch still finds it, so instead check the
+        # error path with a zero-port transport.
+        transport = oracle_for(topo, "lonely")
+        transport.max_ports = 0
+        with pytest.raises(DiscoveryError):
+            discover(transport, "lonely")
+
+    def test_partial_network_after_cut(self):
+        topo = figure1()
+        topo.remove_link("S2", 3, "S5", 2)
+        topo.remove_link("S4", 3, "S5", 1)
+        result = discover(oracle_for(topo, "C3"), "C3")
+        # S5 and H5 are unreachable and must not appear.
+        assert not result.view.has_switch("S5")
+        assert not result.view.has_host("H5")
+        assert result.view.has_switch("S4")
+
+    def test_probe_complexity_quadratic_in_ports(self):
+        """Section 4.1: O(N * P^2) probing messages."""
+        counts = {}
+        for ports in (6, 12):
+            topo = ring(4, num_ports=ports)
+            transport = oracle_for(topo, "hR0_0")
+            discover(transport, "hR0_0")
+            counts[ports] = transport.probes_sent
+        ratio = counts[12] / counts[6]
+        # Doubling P should roughly quadruple the probes (within slack
+        # for the linear host-probe and phase-0 terms).
+        assert 3.0 < ratio < 5.0
+
+    def test_probe_complexity_linear_in_switches(self):
+        counts = {}
+        for n in (4, 8):
+            topo = line(n, num_ports=8)
+            transport = oracle_for(topo, "hL0_0")
+            discover(transport, "hL0_0")
+            counts[n] = transport.probes_sent
+        ratio = counts[8] / counts[4]
+        assert 1.6 < ratio < 2.6
+
+
+class TestRouteTags:
+    def test_roundtrip_on_figure1(self):
+        topo = figure1()
+        to_tags, from_tags = route_tags(topo, "C3", "S4")
+        # Forward tags must land a probe on S4; verify via oracle walk.
+        transport = oracle_for(topo, "C3")
+        (outcome,) = transport.probe_round(
+            [ProbeSpec(tags=to_tags + (ID_QUERY,) + from_tags)]
+        )
+        assert outcome is not None and outcome.switch_id == "S4"
+
+    def test_own_switch(self):
+        topo = figure1()
+        to_tags, from_tags = route_tags(topo, "C3", "S3")
+        assert to_tags == ()
+        assert from_tags == (9,)
+
+    def test_unreachable_switch(self):
+        topo = figure1()
+        topo.add_switch("island", 4)
+        with pytest.raises(DiscoveryError):
+            route_tags(topo, "C3", "island")
+
+
+class TestVerificationBootstrap:
+    def test_clean_blueprint(self):
+        topo = paper_testbed()
+        transport = oracle_for(topo, "h0_0")
+        report = verify_expected_topology(transport, "h0_0", topo)
+        assert report.clean
+        assert report.confirmed_links == len(topo.links)
+        assert report.confirmed_hosts == len(topo.hosts) - 1  # minus origin
+
+    def test_verification_is_cheap(self):
+        """O(links + hosts) probes, not O(N * P^2)."""
+        topo = paper_testbed()
+        verify_transport = oracle_for(topo, "h0_0")
+        verify_expected_topology(verify_transport, "h0_0", topo)
+        full_transport = oracle_for(topo, "h0_0")
+        discover(full_transport, "h0_0")
+        assert verify_transport.probes_sent < full_transport.probes_sent / 10
+
+    def test_detects_missing_link(self):
+        truth = paper_testbed()
+        blueprint = truth.copy()
+        truth.remove_link("leaf0", 1, "spine0", 1)
+        transport = oracle_for(truth, "h1_0")
+        report = verify_expected_topology(transport, "h1_0", blueprint)
+        assert not report.clean
+        assert ("leaf0", 1, "spine0", 1) in report.missing_links or (
+            "spine0", 1, "leaf0", 1
+        ) in report.missing_links
+
+    def test_detects_missing_host(self):
+        truth = paper_testbed()
+        blueprint = truth.copy()
+        truth.remove_host("h3_2")
+        transport = oracle_for(truth, "h0_0")
+        report = verify_expected_topology(transport, "h0_0", blueprint)
+        assert "h3_2" in report.missing_hosts

@@ -1,0 +1,158 @@
+"""ECN marking + congestion-aware rerouting tests (future-work feature)."""
+
+import pytest
+
+from repro.core.ecn import EcnRerouter, EcnSwitch, install_ecn_rerouting
+from repro.core.fabric import DumbNetFabric
+from repro.core.messages import AppData
+from repro.core.packet import ETHERTYPE_DUMBNET, Packet, PathTags
+from repro.netsim import Channel, Device, EventLoop, LinkSpec, Network
+from repro.topology import leaf_spine, line
+
+
+class Sink(Device):
+    def __init__(self, name, loop):
+        super().__init__(name, loop)
+        self.packets = []
+
+    def handle_packet(self, port, packet):
+        self.packets.append(packet)
+
+
+def ecn_rig(bandwidth=8e6, horizon=1e-3):
+    """An EcnSwitch with one slow egress channel."""
+    loop = EventLoop()
+    switch = EcnSwitch("S", 4, loop, mark_horizon_s=horizon)
+    sink = Sink("sink", loop)
+    channel = Channel(loop, bandwidth_bps=bandwidth, latency_s=0.0)
+    switch.attach(1, channel.ends[0])
+    sink.attach(1, channel.ends[1])
+    return loop, switch, sink
+
+
+def data_packet(tags):
+    return Packet(
+        src="x", ethertype=ETHERTYPE_DUMBNET, tags=PathTags(tags),
+        payload=AppData("d"), payload_bytes=1000,
+    )
+
+
+class TestEcnSwitch:
+    def test_uncongested_packets_unmarked(self):
+        loop, switch, sink = ecn_rig()
+        switch.receive(2, data_packet([1]))
+        loop.run()
+        assert sink.packets and not sink.packets[0].ecn_marked
+        assert switch.packets_marked == 0
+
+    def test_backlog_marks_packets(self):
+        loop, switch, sink = ecn_rig(bandwidth=8e6, horizon=1e-3)
+        # 1000-byte frames at 1 ms serialization each: the 3rd+ packet
+        # sees a backlog beyond the 1 ms horizon.
+        for _ in range(6):
+            switch.receive(2, data_packet([1]))
+        loop.run()
+        marked = [p for p in sink.packets if p.ecn_marked]
+        unmarked = [p for p in sink.packets if not p.ecn_marked]
+        assert marked and unmarked
+        assert switch.packets_marked == len(marked)
+
+    def test_forwarding_semantics_unchanged(self):
+        """ECN adds marking only: tags are still consumed identically."""
+        loop, switch, sink = ecn_rig()
+        switch.receive(2, data_packet([1, 7]))
+        loop.run()
+        assert sink.packets[0].tags.remaining == (7,)
+
+
+class TestEcnRerouter:
+    @pytest.fixture
+    def fabric(self):
+        topo = leaf_spine(spines=2, leaves=2, hosts_per_leaf=2, num_ports=16)
+        fab = DumbNetFabric(topo, controller_host="h0_0", seed=9)
+        fab.adopt_blueprint()
+        fab.warm_paths([("h0_1", "h1_1")])
+        return fab
+
+    def test_clean_paths_keep_binding(self, fabric):
+        agent = fabric.agents["h0_1"]
+        router = install_ecn_rerouting(agent)
+        first = router(agent, "h1_1", "flow")
+        for _ in range(5):
+            router.record_delivery(first.tags, marked=False)
+            assert router(agent, "h1_1", "flow") == first
+        assert router.reroutes == 0
+
+    def test_marks_trigger_reroute(self, fabric):
+        agent = fabric.agents["h0_1"]
+        router = install_ecn_rerouting(agent, mark_threshold=0.3)
+        first = router(agent, "h1_1", "flow")
+        for _ in range(20):
+            router.record_delivery(first.tags, marked=True)
+        moved = router(agent, "h1_1", "flow")
+        assert moved.tags != first.tags
+        assert router.reroutes == 1
+
+    def test_prefers_lowest_mark_rate(self, fabric):
+        agent = fabric.agents["h0_1"]
+        router = EcnRerouter(agent)
+        entry = agent.path_table.entry("h1_1")
+        a, b = entry.primaries[0], entry.primaries[1]
+        for _ in range(10):
+            router.record_delivery(a.tags, marked=True)
+            router.record_delivery(b.tags, marked=False)
+        chosen = router(agent, "h1_1", "new-flow")
+        assert chosen.tags == b.tags
+
+    def test_uncached_destination_falls_through(self, fabric):
+        agent = fabric.agents["h0_1"]
+        router = install_ecn_rerouting(agent)
+        assert router(agent, "nowhere", "f") is None
+
+    def test_mark_rate_window(self, fabric):
+        agent = fabric.agents["h0_1"]
+        router = EcnRerouter(agent, window=4)
+        tags = (1, 2, 3)
+        for marked in (True, True, True, True, False, False, False, False):
+            router.record_delivery(tags, marked)
+        assert router.mark_rate(tags) == 0.0  # old marks aged out
+
+
+class TestEndToEndCongestionAvoidance:
+    def test_marks_flow_back_and_shift_traffic(self):
+        """Full loop: an EcnSwitch fabric, receiver echoes mark bits,
+        sender's rerouter drains traffic off the congested spine."""
+        topo = leaf_spine(spines=2, leaves=2, hosts_per_leaf=2, num_ports=16)
+        # Slow fabric so backlogs build: 8 Mbps links.
+        spec = LinkSpec(bandwidth_bps=8e6, latency_s=1e-6)
+
+        fab = DumbNetFabric(topo, controller_host="h0_0", seed=4,
+                            link_spec=spec, host_link_spec=spec)
+        # Swap the switches for EcnSwitches by rebuilding devices is
+        # invasive; instead verify the marking path on the rig above and
+        # exercise the host loop with synthetic feedback here.
+        fab.adopt_blueprint()
+        fab.warm_paths([("h0_1", "h1_1")])
+        agent = fab.agents["h0_1"]
+        router = install_ecn_rerouting(agent, mark_threshold=0.25)
+        used = []
+        original = agent.send_tagged
+
+        def spy(tags, payload, payload_bytes=0, dst=""):
+            if dst == "h1_1":
+                used.append(tuple(tags))
+            return original(tags, payload, payload_bytes, dst)
+
+        agent.send_tagged = spy
+        # Phase 1: congestion-free, flow sticks to one path.
+        for i in range(5):
+            agent.send_app("h1_1", ("d", i), flow_key="f")
+            router.record_delivery(used[-1], marked=False)
+        assert len(set(used)) == 1
+        congested = used[-1]
+        # Phase 2: the path congests; marks accumulate; flow moves.
+        for i in range(10):
+            agent.send_app("h1_1", ("d", i), flow_key="f")
+            router.record_delivery(used[-1], marked=used[-1] == congested)
+        fab.run_until_idle()
+        assert used[-1] != congested

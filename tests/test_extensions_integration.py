@@ -1,0 +1,168 @@
+"""Cross-extension integration: verifier-enforced tenants on a live
+fabric, router chains, QoS fabrics, notify-script delay."""
+
+import pytest
+
+from repro.core.fabric import DumbNetFabric
+from repro.core.l3router import AddressMap, L3Datagram, SoftwareRouter
+from repro.core.qos import QosSwitch
+from repro.core.virtualization import VirtualNetworkManager
+from repro.netsim import LinkSpec
+from repro.topology import Topology, leaf_spine, paper_testbed
+
+
+class TestTenantEnforcementOnLiveFabric:
+    """The Section 6.1 loop closed: applications route themselves, the
+    agent's verifier (fed by the tenant manager) polices the dataplane."""
+
+    @pytest.fixture
+    def rig(self):
+        fabric = DumbNetFabric(paper_testbed(), controller_host="h0_0", seed=7)
+        fabric.adopt_blueprint()
+        fabric.warm_paths([("h0_1", "h1_1")])
+        manager = VirtualNetworkManager(fabric.topology)
+        manager.create_tenant(
+            "blue", hosts=["h0_1", "h1_1"], switches=["spine0"]
+        )
+        agent = fabric.agents["h0_1"]
+        agent.path_verifier = lambda path: manager.path_allowed(
+            "h0_1", "h0_1", "h1_1", path
+        )
+        return fabric, manager, agent
+
+    def test_compliant_app_route_flows(self, rig):
+        fabric, manager, agent = rig
+        entry = agent.path_table.entry("h1_1")
+        compliant = next(
+            p for p in entry.primaries if p.switches[1] == "spine0"
+        )
+        agent.routing_function = lambda a, d, f: compliant
+        agent.send_app("h1_1", "legit", flow_key="f")
+        fabric.run_until_idle()
+        assert "legit" in [d[2] for d in fabric.agents["h1_1"].delivered]
+
+    def test_violating_app_route_blocked(self, rig):
+        fabric, manager, agent = rig
+        entry = agent.path_table.entry("h1_1")
+        violating = next(
+            (p for p in entry.primaries if p.switches[1] == "spine1"), None
+        )
+        assert violating is not None
+        delivered_before = fabric.agents["h1_1"].app_delivered
+        blocked = []
+
+        def route(a, d, f):
+            blocked.append(1)
+            return violating
+
+        agent.routing_function = route
+        # The verifier rejects the app route; the default table then
+        # serves the packet (possibly via spine0) -- isolation holds at
+        # the routing-function boundary.
+        agent.send_app("h1_1", "smuggled", flow_key="f2")
+        fabric.run_until_idle()
+        assert agent.dropped_invalid >= 1
+
+
+class TestRouterChain:
+    """Two routers in sequence: A -> gw1 -> B -> gw2 -> C."""
+
+    def _build(self):
+        topo = Topology()
+        for sw, ports in (("X", 16), ("Y", 16), ("Z", 16)):
+            topo.add_switch(sw, ports)
+        # One physical fabric; the "subnets" are logical (L3) slices,
+        # so a single controller serves all three segments.
+        topo.add_link("X", 8, "Y", 8)
+        topo.add_link("Y", 9, "Z", 8)
+        topo.add_host("a", "X", 1)
+        topo.add_host("gw1x", "X", 2)
+        topo.add_host("gw1y", "Y", 1)
+        topo.add_host("gw2y", "Y", 2)
+        topo.add_host("gw2z", "Z", 1)
+        topo.add_host("c", "Z", 2)
+        fabric = DumbNetFabric(topo, controller_host="a", seed=3)
+        fabric.adopt_blueprint()
+        fabric.warm_paths(
+            [("a", "gw1x"), ("gw1y", "gw2y"), ("gw2z", "c")]
+        )
+        amap = AddressMap()
+        amap.bind("10.1.0.1", "10.1.", "a")
+        amap.bind("10.2.0.1", "10.2.", "gw2y")
+        amap.bind("10.3.0.1", "10.3.", "c")
+        gw1 = SoftwareRouter("gw1", amap)
+        gw1.add_interface("10.1.", fabric.agents["gw1x"])
+        gw1.add_interface("10.2.", fabric.agents["gw1y"])
+        gw1.add_route("10.1.", "10.1.")
+        # Default route toward gw2's NIC in the shared 10.2 subnet.
+        amap.bind("10.2.0.9", "10.2.", "gw2y")
+        gw1.add_route("10.", "10.2.", via="10.2.0.9")
+        gw2 = SoftwareRouter("gw2", amap)
+        gw2.add_interface("10.2.", fabric.agents["gw2y"])
+        gw2.add_interface("10.3.", fabric.agents["gw2z"])
+        gw2.add_route("10.3.", "10.3.")
+        return fabric, amap, gw1, gw2
+
+    def test_two_hop_routing(self):
+        fabric, amap, gw1, gw2 = self._build()
+        datagram = L3Datagram("10.1.0.1", "10.3.0.1", body="across two")
+        fabric.agents["a"].send_app("gw1x", datagram)
+        fabric.run_until_idle()
+        received = [
+            d[2].body
+            for d in fabric.agents["c"].delivered
+            if isinstance(d[2], L3Datagram)
+        ]
+        assert "across two" in received
+        assert gw1.forwarded == 1 and gw2.forwarded == 1
+        # Hop counts incremented along the chain.
+        final = [
+            d[2] for d in fabric.agents["c"].delivered
+            if isinstance(d[2], L3Datagram)
+        ][0]
+        assert final.hops == 2
+
+
+class TestQosFabric:
+    def test_full_fabric_with_qos_switches(self):
+        topo = leaf_spine(2, 2, 2, num_ports=16)
+        fabric = DumbNetFabric(
+            topo, controller_host="h0_0", seed=4, switch_cls=QosSwitch
+        )
+        result = fabric.bootstrap()  # discovery through QoS switches
+        assert result.view.same_wiring(topo)
+        fabric.agents["h0_1"].send_app("h1_1", "via qos")
+        fabric.run_until_idle()
+        assert "via qos" in [d[2] for d in fabric.agents["h1_1"].delivered]
+
+    def test_failover_still_works(self):
+        topo = leaf_spine(2, 2, 2, num_ports=16)
+        fabric = DumbNetFabric(
+            topo, controller_host="h0_0", seed=4, switch_cls=QosSwitch
+        )
+        fabric.adopt_blueprint()
+        fabric.agents["h0_1"].send_app("h1_1", "warm")
+        fabric.run_until_idle()
+        fabric.fail_link("leaf0", 1, "spine0", 1)
+        fabric.run_until_idle()
+        fabric.agents["h0_1"].send_app("h1_1", "after")
+        fabric.run_until_idle()
+        assert "after" in [d[2] for d in fabric.agents["h1_1"].delivered]
+
+
+class TestNotifyScriptDelay:
+    def test_script_delay_shifts_stage1(self):
+        delays = {}
+        for script_delay in (0.0, 0.03):
+            fabric = DumbNetFabric(
+                paper_testbed(), controller_host="h0_0", seed=5,
+                notify_script_delay_s=script_delay,
+            )
+            fabric.adopt_blueprint()
+            fabric.tracer.clear()
+            start = fabric.now
+            fabric.fail_link("leaf2", 1, "spine0", 3)
+            fabric.run_until_idle()
+            news = fabric.tracer.first_time_per_node("news-received")
+            delays[script_delay] = min(t - start for t in news.values())
+        assert delays[0.03] >= delays[0.0] + 0.029

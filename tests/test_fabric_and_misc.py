@@ -1,0 +1,176 @@
+"""Edge cases across fabric assembly, messages, analysis, serialization."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    empirical_cdf,
+    fraction_above,
+    render_cdf_deciles,
+    render_series,
+    render_table,
+    summarize,
+)
+from repro.core.fabric import DumbNetFabric
+from repro.core.messages import PathReply
+from repro.netsim import Channel, EventLoop
+from repro.topology import (
+    Topology,
+    dumps,
+    figure1,
+    leaf_spine,
+    loads,
+    random_connected,
+)
+
+
+class TestFabricAssembly:
+    def test_requires_hosts(self):
+        topo = Topology()
+        topo.add_switch("S", 4)
+        with pytest.raises(ValueError):
+            DumbNetFabric(topo)
+
+    def test_unknown_controller_rejected(self):
+        with pytest.raises(ValueError):
+            DumbNetFabric(figure1(), controller_host="nobody")
+
+    def test_default_controller_is_first_host(self):
+        fabric = DumbNetFabric(figure1())
+        assert fabric.controller_host == figure1().hosts[0]
+        assert fabric.controller is not None
+
+    def test_warm_paths_specific_pairs(self):
+        fabric = DumbNetFabric(figure1(), controller_host="C3", seed=1)
+        fabric.adopt_blueprint()
+        fabric.warm_paths([("H1", "H5")])
+        assert fabric.agents["H1"].path_table.entry("H5") is not None
+        assert fabric.agents["H2"].path_table.entry("H5") is None
+
+    def test_warm_paths_all_pairs(self):
+        topo = leaf_spine(2, 2, 1, num_ports=16)
+        fabric = DumbNetFabric(topo, controller_host="h0_0", seed=1)
+        fabric.adopt_blueprint()
+        fabric.warm_paths()
+        for src in topo.hosts:
+            for dst in topo.hosts:
+                if src != dst:
+                    assert fabric.agents[src].path_table.entry(dst) is not None
+
+    def test_agent_accessor(self):
+        fabric = DumbNetFabric(figure1(), controller_host="C3")
+        assert fabric.agent("H1").name == "H1"
+        with pytest.raises(KeyError):
+            fabric.agent("nope")
+
+
+class TestMessages:
+    def test_path_reply_wire_size_scales_with_edges(self):
+        small = PathReply(
+            nonce=1, src="a", dst="b", found=True,
+            src_attachment=("S", 1), dst_attachment=("T", 1),
+            edges=(), version=1,
+        )
+        big = PathReply(
+            nonce=1, src="a", dst="b", found=True,
+            src_attachment=("S", 1), dst_attachment=("T", 1),
+            edges=tuple(("S", i, "T", i) for i in range(1, 41)),
+            version=1,
+        )
+        assert big.wire_size > small.wire_size
+        assert big.wire_size == small.wire_size + 40 * 8
+
+
+class TestAnalysisRendering:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "long-header"], [["x", 1], ["yy", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines[1:])) == 1  # aligned rows
+
+    def test_render_table_with_title(self):
+        text = render_table(["h"], [["v"]], title="My Table")
+        assert text.startswith("My Table")
+
+    def test_render_series(self):
+        text = render_series("s", [(1.0, 2.0), (3.0, 4.0)])
+        assert "s" in text and "4" in text
+
+    def test_render_cdf_deciles(self):
+        text = render_cdf_deciles("lat", [1.0, 2.0, 3.0], unit="ms")
+        assert "p50" in text and "p99" in text
+        assert render_cdf_deciles("none", []) == "none: (no data)"
+
+    def test_empirical_cdf(self):
+        points = empirical_cdf([3.0, 1.0, 2.0])
+        assert points[0] == (1.0, pytest.approx(1 / 3))
+        assert points[-1] == (3.0, pytest.approx(1.0))
+        assert empirical_cdf([]) == []
+
+    def test_fraction_above(self):
+        assert fraction_above([1, 2, 3, 4], 2.5) == 0.5
+        assert fraction_above([], 1) == 0.0
+
+    def test_summarize(self):
+        s = summarize([1.0, 2.0, 3.0], unit="s")
+        assert s.n == 3 and s.p50 == 2.0
+        assert "p50" in str(s)
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestSerializationProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=6),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_roundtrip_random_topologies(self, n, extra, seed):
+        topo = random_connected(n, extra_links=extra, seed=seed)
+        assert loads(dumps(topo)).same_wiring(topo)
+
+
+class TestNetsimExtras:
+    def test_schedule_at_absolute(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda: loop.schedule_at(5.0, fired.append, "x"))
+        loop.run()
+        assert fired == ["x"] and loop.now == 5.0
+
+    def test_events_run_counter(self):
+        loop = EventLoop()
+        for _ in range(7):
+            loop.schedule(0.1, lambda: None)
+        loop.run()
+        assert loop.events_run == 7
+
+    def test_channel_jitter_spreads_latency(self):
+        loop = EventLoop()
+        rng = random.Random(1)
+        channel = Channel(loop, latency_s=1e-3, jitter_s=1e-3, rng=rng)
+
+        from tests.test_netsim import Recorder, FakeFrame
+
+        a = Recorder("a", loop)
+        b = Recorder("b", loop)
+        a.attach(1, channel.ends[0])
+        b.attach(1, channel.ends[1])
+        for _ in range(30):
+            a.send(1, FakeFrame())
+        loop.run()
+        times = [t for t, _p, _f in b.packets]
+        deltas = {round(t, 6) for t in times}
+        assert len(deltas) > 10  # jitter produced spread
+        assert all(1e-3 <= t <= 2.1e-3 for t in times)
+
+    def test_pending_count_excludes_cancelled(self):
+        loop = EventLoop()
+        h1 = loop.schedule(1.0, lambda: None)
+        loop.schedule(2.0, lambda: None)
+        h1.cancel()
+        assert loop.pending == 1

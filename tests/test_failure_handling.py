@@ -1,0 +1,150 @@
+"""End-to-end two-stage failure handling (Section 4.2)."""
+
+import pytest
+
+from repro.core.fabric import DumbNetFabric
+from repro.topology import figure1, leaf_spine, paper_testbed
+
+
+@pytest.fixture
+def testbed():
+    fab = DumbNetFabric(paper_testbed(), controller_host="h0_0", seed=13)
+    fab.adopt_blueprint()
+    return fab
+
+
+class TestStageOne:
+    def test_all_hosts_learn_of_failure(self, testbed):
+        testbed.fail_link("leaf2", 1, "spine0", 3)
+        testbed.run_until_idle()
+        informed = set(testbed.tracer.first_time_per_node("news-received"))
+        assert set(testbed.topology.hosts) <= informed
+
+    def test_stage1_needs_no_controller(self, testbed):
+        """Hosts must learn about the failure even with a dead
+        controller -- stage 1 is switch broadcast + host flooding."""
+        testbed.network.hosts["h0_0"].power_off()
+        testbed.run_until_idle()
+        testbed.tracer.clear()
+        testbed.fail_link("leaf2", 1, "spine0", 3)
+        testbed.run_until_idle()
+        informed = set(testbed.tracer.first_time_per_node("news-received"))
+        hosts = set(testbed.topology.hosts) - {"h0_0"}
+        assert hosts <= informed
+
+    def test_notification_is_fast(self, testbed):
+        """The paper measures stage-1 delivery within ~4 ms on the
+        testbed; the emulated fabric should be the same magnitude."""
+        start = testbed.now
+        testbed.fail_link("leaf2", 1, "spine0", 3)
+        testbed.run_until_idle()
+        delays = [
+            t - start
+            for t in testbed.tracer.first_time_per_node("news-received").values()
+        ]
+        assert delays and max(delays) < 0.05
+
+    def test_patch_crosses_leaves(self, testbed):
+        """Stage-2 patches must traverse the spine layer even though
+        spine switches host nobody -- the gossip overlay reaches the
+        nearest populated switches (regression: a naive adjacent-switch
+        overlay disconnects at the spines)."""
+        testbed.fail_link("leaf2", 1, "spine0", 3)
+        testbed.run_until_idle()
+        patched = set(testbed.tracer.first_time_per_node("patch-received"))
+        hosts = set(testbed.topology.hosts) - {"h0_0"}
+        assert hosts <= patched
+
+    def test_duplicate_news_suppressed(self, testbed):
+        testbed.fail_link("leaf2", 1, "spine0", 3)
+        testbed.run_until_idle()
+        h = testbed.agents["h4_4"]
+        # The flood fans in from many gossip neighbors, but the agent
+        # acted on each (switch, port, seq) key at most once.
+        assert h.news_received <= 4  # leaf2 + spine0 alarms (x2 seq at most)
+
+
+class TestFailover:
+    def test_traffic_reroutes_without_new_query(self, testbed):
+        src, dst = testbed.agents["h2_0"], testbed.agents["h3_0"]
+        src.send_app("h3_0", "warm")
+        testbed.run_until_idle()
+        queries_before = src.path_queries_sent
+        # Kill the uplink the cached primary used -- whichever spine.
+        entry = src.path_table.entry("h3_0")
+        first_hop = entry.primaries[0]
+        spine = first_hop.switches[1]
+        port = first_hop.tags[0]
+        peer = testbed.topology.peer("leaf2", port)
+        testbed.fail_link("leaf2", port, peer.switch, peer.port)
+        testbed.run_until_idle()
+        src.send_app("h3_0", "after")
+        testbed.run_until_idle()
+        assert "after" in [d[2] for d in dst.delivered]
+        assert src.path_queries_sent == queries_before
+
+    def test_backup_path_carries_traffic_when_all_primaries_die(self):
+        fab = DumbNetFabric(figure1(), controller_host="C3", seed=2)
+        fab.bootstrap()
+        h4 = fab.agents["H4"]
+        h4.send_app("H5", "warm")
+        fab.run_until_idle()
+        # Kill the direct S4-S5 link: primaries go through it.
+        fab.fail_link("S4", 3, "S5", 1)
+        fab.run_until_idle()
+        h4.send_app("H5", "detour")
+        fab.run_until_idle()
+        assert "detour" in [d[2] for d in fab.agents["H5"].delivered]
+
+    def test_disconnected_destination_fails_cleanly(self):
+        fab = DumbNetFabric(figure1(), controller_host="C3", seed=2)
+        fab.bootstrap()
+        fab.fail_link("S4", 3, "S5", 1)
+        fab.fail_link("S2", 3, "S5", 2)
+        fab.run_until_idle()
+        h4 = fab.agents["H4"]
+        h4.send_app("H5", "void")
+        fab.run_until_idle()
+        assert "void" not in [d[2] for d in fab.agents["H5"].delivered]
+
+
+class TestSwitchFailure:
+    def test_switch_death_detected_and_routed_around(self, testbed):
+        src, dst = testbed.agents["h0_1"], testbed.agents["h4_0"]
+        src.send_app("h4_0", "warm")
+        testbed.run_until_idle()
+        testbed.fail_switch("spine0")
+        testbed.run_until_idle()
+        src.send_app("h4_0", "around")
+        testbed.run_until_idle()
+        assert "around" in [d[2] for d in dst.delivered]
+
+    def test_controller_view_drops_dead_switch_links(self, testbed):
+        testbed.fail_switch("spine0")
+        testbed.run_until_idle()
+        view = testbed.controller.view
+        assert not list(view.links_of("spine0"))
+
+
+class TestFlapping:
+    def test_flapping_link_converges_to_final_state(self, testbed):
+        """A link that flaps and settles down must end up removed from
+        the controller view despite alarm suppression."""
+        loop = testbed.loop
+        chan_args = ("leaf1", 1, "spine0", 2)
+        for i, delay in enumerate((0.0, 0.01, 0.02, 0.03, 0.04)):
+            if i % 2 == 0:
+                loop.schedule(delay, testbed.network.fail_link, *chan_args)
+            else:
+                loop.schedule(delay, testbed.network.restore_link, *chan_args)
+        testbed.run_until_idle()
+        # Sequence ends with fail at 0.04 -> link must be gone.
+        assert not testbed.controller.view.has_link(*chan_args)
+
+    def test_flap_that_settles_up_keeps_link(self, testbed):
+        loop = testbed.loop
+        chan_args = ("leaf1", 1, "spine0", 2)
+        loop.schedule(0.0, testbed.network.fail_link, *chan_args)
+        loop.schedule(0.01, testbed.network.restore_link, *chan_args)
+        testbed.run_until_idle()
+        assert testbed.controller.view.has_link(*chan_args)

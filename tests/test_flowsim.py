@@ -1,0 +1,248 @@
+"""Fluid simulator tests: fairness, completion math, policies."""
+
+import math
+
+import pytest
+
+from repro.flowsim import (
+    FairnessError,
+    FlowNet,
+    FluidSimulator,
+    HashedKPathPolicy,
+    RebalancingKPathPolicy,
+    SingleShortestPolicy,
+    ThroughputSeries,
+    max_min_rates,
+)
+from repro.topology import leaf_spine, line
+
+
+class TestMaxMin:
+    def test_single_bottleneck_split_evenly(self):
+        rates = max_min_rates(
+            {"f1": ["L"], "f2": ["L"]},
+            {"L": 10.0},
+        )
+        assert rates == {"f1": 5.0, "f2": 5.0}
+
+    def test_classic_three_flow_example(self):
+        # f1 crosses both links, f2 only A, f3 only B.
+        rates = max_min_rates(
+            {"f1": ["A", "B"], "f2": ["A"], "f3": ["B"]},
+            {"A": 10.0, "B": 10.0},
+        )
+        assert rates["f1"] == pytest.approx(5.0)
+        assert rates["f2"] == pytest.approx(5.0)
+        assert rates["f3"] == pytest.approx(5.0)
+
+    def test_asymmetric_bottlenecks(self):
+        rates = max_min_rates(
+            {"f1": ["A", "B"], "f2": ["A"], "f3": ["B"]},
+            {"A": 10.0, "B": 4.0},
+        )
+        # B limits f1 and f3 to 2 each; f2 then gets A's remainder: 8.
+        assert rates["f1"] == pytest.approx(2.0)
+        assert rates["f3"] == pytest.approx(2.0)
+        assert rates["f2"] == pytest.approx(8.0)
+
+    def test_demand_caps(self):
+        rates = max_min_rates(
+            {"f1": ["L"], "f2": ["L"]},
+            {"L": 10.0},
+            demands={"f1": 1.0},
+        )
+        assert rates["f1"] == pytest.approx(1.0)
+        assert rates["f2"] == pytest.approx(9.0)
+
+    def test_capacity_never_exceeded(self):
+        flows = {f"f{i}": ["A", "B"] if i % 2 else ["B", "C"] for i in range(9)}
+        caps = {"A": 7.0, "B": 5.0, "C": 3.0}
+        rates = max_min_rates(flows, caps)
+        for link, cap in caps.items():
+            used = sum(r for f, r in rates.items() if link in flows[f])
+            assert used <= cap + 1e-9
+
+    def test_max_min_property(self):
+        """No flow can gain without a smaller-or-equal flow losing: at
+        every link of a non-bottlenecked flow there is residual, so a
+        flow's rate equals the fair share of some saturated link."""
+        flows = {
+            "a": ["X"],
+            "b": ["X", "Y"],
+            "c": ["Y", "Z"],
+            "d": ["Z"],
+        }
+        caps = {"X": 6.0, "Y": 9.0, "Z": 2.0}
+        rates = max_min_rates(flows, caps)
+        for flow, route in flows.items():
+            shares = []
+            for link in route:
+                users = [f for f, r in flows.items() if link in r]
+                used = sum(rates[f] for f in users)
+                if used >= caps[link] - 1e-9:  # saturated
+                    others_at_or_above = all(
+                        rates[f] >= rates[flow] - 1e-9 for f in users
+                    )
+                    shares.append(others_at_or_above)
+            assert any(shares), f"{flow} is not max-min constrained"
+
+    def test_empty_route_gets_demand(self):
+        rates = max_min_rates({"f": []}, {}, demands={"f": 3.0})
+        assert rates["f"] == 3.0
+
+    def test_unknown_link_rejected(self):
+        with pytest.raises(FairnessError):
+            max_min_rates({"f": ["nope"]}, {})
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(FairnessError):
+            max_min_rates({}, {"L": 0.0})
+
+
+class TestFlowNet:
+    def test_route_links_cover_every_hop(self):
+        topo = leaf_spine(2, 2, 2, num_ports=16)
+        net = FlowNet(topo)
+        links = net.route_links("h0_0", ["leaf0", "spine0", "leaf1"], "h1_0")
+        assert links[0] == ("htx", "h0_0")
+        assert len(links) == 4  # NIC + leaf0->spine0 + spine0->leaf1 + leaf1->host
+
+    def test_failed_link_invalidates_route(self):
+        topo = leaf_spine(2, 2, 2, num_ports=16)
+        net = FlowNet(topo)
+        net.fail_link("leaf0", 1, "spine0", 1)
+        assert net.route_links("h0_0", ["leaf0", "spine0", "leaf1"], "h1_0") is None
+        assert net.k_paths("h0_0", "h1_0", 4) == [["leaf0", "spine1", "leaf1"]]
+        net.restore_link("leaf0", 1, "spine0", 1)
+        assert len(net.k_paths("h0_0", "h1_0", 4)) == 2
+
+    def test_port_overrides(self):
+        topo = leaf_spine(2, 2, 2, num_ports=16)
+        net = FlowNet(topo, link_bps=10e9, port_overrides={("spine0", 1): 5e8})
+        assert net.capacities[("tx", "spine0", 1)] == 5e8
+        assert net.capacities[("tx", "spine0", 2)] == 10e9
+
+    def test_switch_overrides(self):
+        topo = leaf_spine(2, 2, 2, num_ports=16)
+        net = FlowNet(topo, switch_overrides={"spine0": 1e9})
+        assert net.capacities[("tx", "spine0", 1)] == 1e9
+
+
+class TestFluidSimulator:
+    def test_single_flow_completion_math(self):
+        topo = line(2, hosts_per_switch=1)
+        net = FlowNet(topo, link_bps=1e9, host_bps=1e9)
+        sim = FluidSimulator(net, SingleShortestPolicy())
+        flow = sim.add_flow("hL0_0", "hL1_0", 1e9)
+        sim.run()
+        assert flow.finished_at == pytest.approx(1.0)
+
+    def test_fair_sharing_delays_completion(self):
+        topo = line(2, hosts_per_switch=2)
+        net = FlowNet(topo, link_bps=1e9, host_bps=1e9)
+        sim = FluidSimulator(net, SingleShortestPolicy())
+        f1 = sim.add_flow("hL0_0", "hL1_0", 1e9)
+        f2 = sim.add_flow("hL0_1", "hL1_1", 1e9)
+        sim.run()
+        # Both share the single L0->L1 link: 2 Gb over 1 Gbps = 2 s.
+        assert f1.finished_at == pytest.approx(2.0)
+        assert f2.finished_at == pytest.approx(2.0)
+
+    def test_staggered_arrival(self):
+        topo = line(2, hosts_per_switch=2)
+        net = FlowNet(topo, link_bps=1e9, host_bps=1e9)
+        sim = FluidSimulator(net, SingleShortestPolicy())
+        f1 = sim.add_flow("hL0_0", "hL1_0", 1e9, start_s=0.0)
+        f2 = sim.add_flow("hL0_1", "hL1_1", 1e9, start_s=0.5)
+        sim.run()
+        # f1 alone for 0.5 s (0.5 Gb done), then shares: each gets 0.5.
+        # f1 finishes at 0.5 + 0.5/0.5 = 1.5; f2 at 1.5 + 0.5/1 = 2.0.
+        assert f1.finished_at == pytest.approx(1.5)
+        assert f2.finished_at == pytest.approx(2.0)
+
+    def test_demand_capped_flow(self):
+        topo = line(2)
+        net = FlowNet(topo, link_bps=1e9, host_bps=1e9)
+        sim = FluidSimulator(net, SingleShortestPolicy())
+        flow = sim.add_flow("hL0_0", "hL1_0", 1e9, demand_bps=0.5e9)
+        sim.run()
+        assert flow.finished_at == pytest.approx(2.0)
+
+    def test_rebalancing_beats_single_path(self):
+        topo = leaf_spine(2, 2, 4, num_ports=16)
+        durations = {}
+        for name, policy in (
+            ("single", SingleShortestPolicy()),
+            ("rebalance", RebalancingKPathPolicy(k=4)),
+        ):
+            net = FlowNet(topo, link_bps=1e9, host_bps=1e9)
+            sim = FluidSimulator(net, policy)
+            flows = [sim.add_flow(f"h0_{i}", f"h1_{i}", 1e9) for i in range(4)]
+            sim.run()
+            durations[name] = max(f.finished_at for f in flows)
+        assert durations["rebalance"] < durations["single"] * 0.75
+
+    def test_hashed_policy_spreads(self):
+        topo = leaf_spine(4, 2, 8, num_ports=32)
+        net = FlowNet(topo, link_bps=1e9, host_bps=1e9)
+        sim = FluidSimulator(net, HashedKPathPolicy(k=4))
+        flows = [sim.add_flow(f"h0_{i}", f"h1_{i}", 1e8) for i in range(8)]
+        sim.run()
+        used_spines = {f.switch_path[1] for f in flows}
+        assert len(used_spines) >= 2
+
+    def test_injected_failure_reroutes_flow(self):
+        topo = leaf_spine(2, 2, 2, num_ports=16)
+        net = FlowNet(topo, link_bps=1e9, host_bps=1e9)
+        sim = FluidSimulator(net, RebalancingKPathPolicy(k=2))
+        flow = sim.add_flow("h0_0", "h1_0", 2e9)
+        sim.at(0.5, lambda: net.fail_link("leaf0", 1, "spine0", 1))
+        sim.at(0.5, lambda: net.fail_link("leaf0", 2, "spine1", 1))
+        # Both uplinks dead: the flow stalls forever after 0.5 s.
+        sim.run()
+        assert flow.finished_at is None
+        assert flow.remaining_bits == pytest.approx(1.5e9)
+
+    def test_throughput_recording(self):
+        topo = line(2)
+        net = FlowNet(topo, link_bps=1e9, host_bps=1e9)
+        sim = FluidSimulator(net, SingleShortestPolicy())
+        sim.add_flow("hL0_0", "hL1_0", 1e9, tag="t")
+        record = {}
+        sim.run(record=record, record_key=lambda f: f.tag)
+        series = record["t"]
+        assert series.rate_at(0.5) == pytest.approx(1e9)
+        bins = series.binned(0.25, until=1.0)
+        assert len(bins) == 4
+        assert all(bps == pytest.approx(1e9) for _t, bps in bins)
+
+    def test_completion_time_by_tag(self):
+        topo = line(2, hosts_per_switch=2)
+        net = FlowNet(topo, link_bps=1e9, host_bps=1e9)
+        sim = FluidSimulator(net, SingleShortestPolicy())
+        sim.add_flow("hL0_0", "hL1_0", 1e9, tag="job")
+        sim.add_flow("hL0_1", "hL1_1", 1e9, tag="job")
+        sim.run()
+        assert sim.completion_time("job") == pytest.approx(2.0)
+        assert sim.completion_time("nothing") is None
+
+
+class TestThroughputSeries:
+    def test_binning_partial_overlap(self):
+        series = ThroughputSeries()
+        series.add(0.0, 1.0, 8e6)
+        series.add(1.0, 2.0, 4e6)
+        bins = series.binned(0.5, until=2.0)
+        assert bins[0][1] == pytest.approx(8e6)
+        assert bins[3][1] == pytest.approx(4e6)
+
+    def test_rate_at_boundaries(self):
+        series = ThroughputSeries()
+        series.add(0.0, 1.0, 5.0)
+        assert series.rate_at(0.0) == 5.0
+        assert series.rate_at(1.0) == 0.0
+
+    def test_zero_length_segment_ignored(self):
+        series = ThroughputSeries()
+        series.add(1.0, 1.0, 5.0)
+        assert series.segments == []

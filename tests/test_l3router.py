@@ -1,0 +1,137 @@
+"""Software L3 router tests (Section 6.3)."""
+
+import pytest
+
+from repro.core.fabric import DumbNetFabric
+from repro.core.l3router import AddressMap, L3Datagram, SoftwareRouter
+from repro.core.messages import AppData
+from repro.topology import Topology
+
+
+def two_subnet_topology():
+    """Two DumbNet subnets joined only through the router node.
+
+    Subnet A: switch X with hosts a1, a2 and router NIC ra.
+    Subnet B: switch Y with hosts b1, b2 and router NIC rb.
+    A shortcut cable X-8 <-> Y-8 exists for the spliced-path test.
+    """
+    topo = Topology()
+    topo.add_switch("X", 16)
+    topo.add_switch("Y", 16)
+    topo.add_host("a1", "X", 1)
+    topo.add_host("a2", "X", 2)
+    topo.add_host("ra", "X", 3)
+    topo.add_host("b1", "Y", 1)
+    topo.add_host("b2", "Y", 2)
+    topo.add_host("rb", "Y", 3)
+    topo.add_link("X", 8, "Y", 8)
+    return topo
+
+
+@pytest.fixture
+def setup():
+    topo = two_subnet_topology()
+    fabric = DumbNetFabric(topo, controller_host="a1", seed=17)
+    fabric.adopt_blueprint()
+    fabric.warm_paths(
+        [("a2", "ra"), ("ra", "a2"), ("rb", "b1"), ("rb", "b2"), ("b1", "rb")]
+    )
+    amap = AddressMap()
+    amap.bind("10.1.0.2", "10.1.", "a2")
+    amap.bind("10.2.0.1", "10.2.", "b1")
+    amap.bind("10.2.0.2", "10.2.", "b2")
+    router = SoftwareRouter("gw", amap)
+    router.add_interface("10.1.", fabric.agents["ra"])
+    router.add_interface("10.2.", fabric.agents["rb"])
+    router.add_route("10.1.", "10.1.")
+    router.add_route("10.2.", "10.2.")
+    return fabric, router, amap
+
+
+class TestAddressMap:
+    def test_bind_and_resolve(self):
+        amap = AddressMap()
+        amap.bind("10.1.0.7", "10.1.", "h7")
+        assert amap.resolve("10.1.0.7") == ("10.1.", "h7")
+        assert amap.resolve("10.9.9.9") is None
+
+    def test_bind_outside_subnet_rejected(self):
+        amap = AddressMap()
+        with pytest.raises(ValueError):
+            amap.bind("10.2.0.1", "10.1.", "h")
+
+
+class TestRoutingTable:
+    def test_longest_prefix_wins(self, setup):
+        _fabric, router, _amap = setup
+        router.add_route("10.", "10.1.")  # catch-all behind the /16s
+        entry = router.lookup("10.2.0.1")
+        assert entry.subnet == "10.2."
+        assert router.lookup("10.7.0.1").subnet == "10.1."
+
+    def test_route_requires_interface(self, setup):
+        _fabric, router, _amap = setup
+        with pytest.raises(ValueError):
+            router.add_route("10.3.", "10.3.")
+
+    def test_duplicate_interface_rejected(self, setup):
+        fabric, router, _amap = setup
+        with pytest.raises(ValueError):
+            router.add_interface("10.1.", fabric.agents["a1"])
+
+
+class TestForwarding:
+    def test_cross_subnet_delivery(self, setup):
+        fabric, router, _amap = setup
+        datagram = L3Datagram("10.1.0.2", "10.2.0.1", body="hello-b1")
+        fabric.agents["a2"].send_app(
+            "ra", datagram, flow_key=("10.1.0.2", "10.2.0.1")
+        )
+        fabric.run_until_idle()
+        b1 = fabric.agents["b1"]
+        bodies = [
+            d[2].body for d in b1.delivered if isinstance(d[2], L3Datagram)
+        ]
+        assert "hello-b1" in bodies
+        assert router.forwarded == 1
+
+    def test_no_route_drops(self, setup):
+        fabric, router, _amap = setup
+        datagram = L3Datagram("10.1.0.2", "192.168.0.1", body="lost")
+        router.forward(datagram, "10.1.")
+        assert router.dropped_no_route == 1
+
+    def test_unresolvable_address_drops(self, setup):
+        fabric, router, _amap = setup
+        datagram = L3Datagram("10.1.0.2", "10.2.0.99", body="lost")
+        router.forward(datagram, "10.1.")
+        assert router.dropped_no_route == 1
+
+    def test_ttl_guard(self, setup):
+        _fabric, router, _amap = setup
+        datagram = L3Datagram(
+            "10.1.0.2", "10.2.0.1", body="loop", hops=SoftwareRouter.MAX_HOPS
+        )
+        assert router.forward(datagram, "10.1.") is False
+        assert router.dropped_ttl == 1
+
+
+class TestShortcut:
+    def test_egress_leg_available_after_warmup(self, setup):
+        _fabric, router, _amap = setup
+        leg = router.egress_leg("10.2.0.1")
+        assert leg is not None and leg[-1] == 1  # b1 sits on Y port 1
+
+    def test_spliced_path_bypasses_router(self, setup):
+        fabric, router, _amap = setup
+        # a2's leg to the border switch X is empty (a2 is on X); the
+        # shortcut port is X-8; then rb's cached leg from Y to b1.
+        leg2 = router.egress_leg("10.2.0.1")
+        tags = SoftwareRouter.splice((), 8, leg2)
+        agent = fabric.agents["a2"]
+        agent.send_tagged(tags, AppData("direct"), 100, dst="b1")
+        fabric.run_until_idle()
+        b1 = fabric.agents["b1"]
+        assert "direct" in [d[2] for d in b1.delivered]
+        # The router CPU never saw it.
+        assert router.forwarded == 0

@@ -1,0 +1,284 @@
+"""Tests for the discrete-event emulator core."""
+
+import pytest
+
+from repro.netsim import (
+    Channel,
+    Device,
+    EventLoop,
+    LinkSpec,
+    Network,
+    SimulationError,
+    Tracer,
+)
+from repro.topology import line
+
+
+class TestEventLoop:
+    def test_ordering_by_time(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(2.0, order.append, "b")
+        loop.schedule(1.0, order.append, "a")
+        loop.schedule(3.0, order.append, "c")
+        loop.run()
+        assert order == ["a", "b", "c"]
+        assert loop.now == 3.0
+
+    def test_fifo_at_equal_times(self):
+        loop = EventLoop()
+        order = []
+        for i in range(5):
+            loop.schedule(1.0, order.append, i)
+        loop.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_negative_delay_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(SimulationError):
+            loop.schedule(-0.1, lambda: None)
+
+    def test_cancel(self):
+        loop = EventLoop()
+        fired = []
+        handle = loop.schedule(1.0, fired.append, 1)
+        loop.schedule(2.0, fired.append, 2)
+        handle.cancel()
+        loop.run()
+        assert fired == [2]
+
+    def test_run_until_advances_clock(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(5.0, fired.append, 1)
+        executed = loop.run(until=2.0)
+        assert executed == 0 and loop.now == 2.0 and fired == []
+        loop.run()
+        assert fired == [1] and loop.now == 5.0
+
+    def test_nested_scheduling(self):
+        loop = EventLoop()
+        times = []
+
+        def tick(n):
+            times.append(loop.now)
+            if n > 0:
+                loop.schedule(1.0, tick, n - 1)
+
+        loop.schedule(0.0, tick, 3)
+        loop.run()
+        assert times == [0.0, 1.0, 2.0, 3.0]
+
+    def test_runaway_guard(self):
+        loop = EventLoop()
+
+        def forever():
+            loop.schedule(0.0, forever)
+
+        loop.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            loop.run_until_idle(max_events=1000)
+
+    def test_max_events_pauses_and_resumes(self):
+        loop = EventLoop()
+        fired = []
+        for i in range(10):
+            loop.schedule(float(i), fired.append, i)
+        loop.run(max_events=4)
+        assert fired == [0, 1, 2, 3]
+        loop.run()
+        assert fired == list(range(10))
+
+
+class Recorder(Device):
+    """Test device: logs everything it hears."""
+
+    def __init__(self, name, loop, proc_delay=0.0):
+        super().__init__(name, loop, proc_delay=proc_delay)
+        self.packets = []
+        self.port_events = []
+
+    def handle_packet(self, port, packet):
+        self.packets.append((self.loop.now, port, packet))
+
+    def handle_port_state(self, port, up):
+        self.port_events.append((self.loop.now, port, up))
+
+
+class FakeFrame:
+    def __init__(self, size_bytes=1000):
+        self.size_bytes = size_bytes
+
+
+def wire_pair(loop, bandwidth=None, latency=1e-3, **kw):
+    a = Recorder("a", loop)
+    b = Recorder("b", loop)
+    channel = Channel(loop, bandwidth_bps=bandwidth, latency_s=latency, **kw)
+    a.attach(1, channel.ends[0])
+    b.attach(1, channel.ends[1])
+    return a, b, channel
+
+
+class TestChannel:
+    def test_latency_only_delivery(self):
+        loop = EventLoop()
+        a, b, _ch = wire_pair(loop, latency=2e-3)
+        a.send(1, FakeFrame())
+        loop.run()
+        assert len(b.packets) == 1
+        assert b.packets[0][0] == pytest.approx(2e-3)
+
+    def test_serialization_delay(self):
+        loop = EventLoop()
+        a, b, _ch = wire_pair(loop, bandwidth=8e6, latency=0.0)  # 1 MB/s
+        a.send(1, FakeFrame(size_bytes=1000))  # 1 ms on the wire
+        loop.run()
+        assert b.packets[0][0] == pytest.approx(1e-3)
+
+    def test_back_to_back_frames_queue(self):
+        loop = EventLoop()
+        a, b, _ch = wire_pair(loop, bandwidth=8e6, latency=0.0)
+        a.send(1, FakeFrame(1000))
+        a.send(1, FakeFrame(1000))
+        loop.run()
+        times = [t for t, _p, _f in b.packets]
+        assert times == [pytest.approx(1e-3), pytest.approx(2e-3)]
+
+    def test_down_channel_drops_and_notifies(self):
+        loop = EventLoop()
+        a, b, ch = wire_pair(loop)
+        ch.fail()
+        assert a.send(1, FakeFrame()) is False
+        loop.run()
+        assert b.packets == []
+        assert a.port_events and a.port_events[0][2] is False
+        assert b.port_events and b.port_events[0][2] is False
+
+    def test_in_flight_frames_die_with_channel(self):
+        loop = EventLoop()
+        a, b, ch = wire_pair(loop, latency=5e-3)
+        a.send(1, FakeFrame())
+        loop.schedule(1e-3, ch.fail)
+        loop.run()
+        assert b.packets == []
+
+    def test_restore_notifies_up(self):
+        loop = EventLoop()
+        a, b, ch = wire_pair(loop)
+        ch.fail()
+        loop.run()
+        ch.restore()
+        loop.run()
+        assert a.port_events[-1][2] is True
+
+    def test_set_same_state_is_noop(self):
+        loop = EventLoop()
+        a, _b, ch = wire_pair(loop)
+        ch.restore()  # already up
+        loop.run()
+        assert a.port_events == []
+
+
+class TestDevice:
+    def test_processing_delay_serializes(self):
+        loop = EventLoop()
+        a, b, _ch = wire_pair(loop, latency=0.0)
+        b.proc_delay = 1e-3
+        a.send(1, FakeFrame())
+        a.send(1, FakeFrame())
+        loop.run()
+        times = [t for t, _p, _f in b.packets]
+        assert times == [pytest.approx(1e-3), pytest.approx(2e-3)]
+
+    def test_power_off_drops_everything(self):
+        loop = EventLoop()
+        a, b, _ch = wire_pair(loop)
+        b.power_off()
+        a.send(1, FakeFrame())
+        loop.run()
+        assert b.packets == []
+
+    def test_power_off_downs_links(self):
+        loop = EventLoop()
+        a, b, _ch = wire_pair(loop)
+        b.power_off()
+        loop.run()
+        assert a.port_events and a.port_events[0][2] is False
+
+    def test_double_attach_rejected(self):
+        loop = EventLoop()
+        a, _b, ch = wire_pair(loop)
+        with pytest.raises(ValueError):
+            a.attach(1, ch.ends[0])
+
+    def test_send_on_missing_port(self):
+        loop = EventLoop()
+        dev = Recorder("solo", loop)
+        assert dev.send(3, FakeFrame()) is False
+
+
+class TestNetworkBuilder:
+    def _factories(self):
+        def sw(name, ports, network):
+            return Recorder(name, network.loop)
+
+        def host(name, network):
+            return Recorder(name, network.loop)
+
+        return sw, host
+
+    def test_builds_all_devices(self):
+        sw, host = self._factories()
+        net = Network(line(3, hosts_per_switch=1), sw, host)
+        assert set(net.switches) == {"L0", "L1", "L2"}
+        assert len(net.hosts) == 3
+
+    def test_fail_and_restore_link(self):
+        sw, host = self._factories()
+        net = Network(line(3), sw, host)
+        net.fail_link("L0", 2, "L1", 1)
+        net.run_until_idle()
+        assert net.switches["L0"].port_events[-1][2] is False
+        net.restore_link("L0", 2, "L1", 1)
+        net.run_until_idle()
+        assert net.switches["L0"].port_events[-1][2] is True
+
+    def test_fail_unknown_link_raises(self):
+        sw, host = self._factories()
+        net = Network(line(3), sw, host)
+        with pytest.raises(Exception):
+            net.fail_link("L0", 5, "L1", 5)
+
+    def test_fail_random_link_returns_it(self):
+        sw, host = self._factories()
+        net = Network(line(3), sw, host)
+        link = net.fail_random_link()
+        assert not net.link_channel(
+            link.a.switch, link.a.port, link.b.switch, link.b.port
+        ).up
+
+    def test_device_lookup(self):
+        sw, host = self._factories()
+        net = Network(line(2), sw, host)
+        assert net.device("L0").name == "L0"
+        assert net.device("hL0_0").name == "hL0_0"
+        with pytest.raises(KeyError):
+            net.device("ghost")
+
+
+class TestTracer:
+    def test_record_and_query(self):
+        tracer = Tracer()
+        tracer.record(1.0, "x", "n1", "d1")
+        tracer.record(2.0, "x", "n1", "d2")
+        tracer.record(3.0, "y", "n2")
+        assert len(tracer) == 3
+        assert tracer.times("x") == [1.0, 2.0]
+        assert tracer.first("x").detail == "d1"
+        assert tracer.first("x", node="n2") is None
+        assert tracer.first_time_per_node("x") == {"n1": 1.0}
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.record(1.0, "x", "n")
+        assert len(tracer) == 0

@@ -1,0 +1,135 @@
+"""Controller replication and failover on a live fabric."""
+
+import pytest
+
+from repro.core.controller import Controller, ControllerConfig
+from repro.core.fabric import DumbNetFabric
+from repro.core.host_agent import HostAgent
+from repro.core.replication import ReplicatedControlPlane, ReplicationError
+from repro.netsim import Network
+from repro.topology import paper_testbed
+
+
+def build_plane():
+    """A fabric whose first three hosts are controller-capable."""
+    topo = paper_testbed()
+    controller_hosts = ["h0_0", "h1_0", "h2_0"]
+    agents = {}
+    tracer_box = {}
+
+    from repro.core.switch import DumbSwitch
+    from repro.netsim.trace import Tracer
+
+    tracer = Tracer()
+
+    def make_switch(name, ports, network):
+        return DumbSwitch(name, ports, network.loop, tracer=tracer)
+
+    def make_host(name, network):
+        if name in controller_hosts:
+            agent = Controller(name, network.loop, tracer=tracer)
+        else:
+            agent = HostAgent(name, network.loop, tracer=tracer)
+        agents[name] = agent
+        return agent
+
+    network = Network(topo, make_switch, make_host, tracer=tracer)
+    primary = agents["h0_0"]
+    primary.adopt_view(topo.copy())
+    primary.announce_all()
+    network.run_until_idle()
+    plane = ReplicatedControlPlane(
+        network, primary, [agents["h1_0"], agents["h2_0"]]
+    )
+    return network, agents, plane, tracer
+
+
+class TestReplicatedControlPlane:
+    def test_changes_replicate(self):
+        network, agents, plane, _tracer = build_plane()
+        network.fail_link("leaf3", 1, "spine0", 4)
+        network.run_until_idle()
+        for replica in ("h1_0", "h2_0"):
+            assert not plane.store.view_of(replica).has_link(
+                "leaf3", 1, "spine0", 4
+            )
+
+    def test_failover_promotes_standby(self):
+        network, agents, plane, _tracer = build_plane()
+        network.fail_link("leaf3", 1, "spine0", 4)
+        network.run_until_idle()
+        new_primary = plane.fail_primary()
+        network.run_until_idle()
+        assert new_primary.name in ("h1_0", "h2_0")
+        assert new_primary.view is not None
+        assert not new_primary.view.has_link("leaf3", 1, "spine0", 4)
+
+    def test_hosts_retarget_queries_after_failover(self):
+        network, agents, plane, _tracer = build_plane()
+        new_primary = plane.fail_primary()
+        network.run_until_idle()
+        # A host that never talked to anyone now asks for a path: the
+        # announcement pointed it at the new controller.
+        src = agents["h4_1"]
+        assert src.controller == new_primary.name
+        src.send_app("h3_2", "post-failover")
+        network.run_until_idle()
+        assert "post-failover" in [d[2] for d in agents["h3_2"].delivered]
+
+    def test_new_primary_handles_failures(self):
+        network, agents, plane, _tracer = build_plane()
+        new_primary = plane.fail_primary()
+        network.run_until_idle()
+        network.fail_link("leaf4", 2, "spine1", 5)
+        network.run_until_idle()
+        assert not new_primary.view.has_link("leaf4", 2, "spine1", 5)
+
+    def test_planned_failover_keeps_old_primary_as_standby(self):
+        network, agents, plane, _tracer = build_plane()
+        old = plane.current_primary
+        plane.failover()
+        network.run_until_idle()
+        assert old in plane.standbys
+        assert plane.current_primary is not old
+
+    def test_standbys_must_be_controllers(self):
+        network, agents, plane, _tracer = build_plane()
+        with pytest.raises(ReplicationError):
+            ReplicatedControlPlane(
+                network, plane.current_primary, [agents["h4_4"]]
+            )
+
+    def test_unbootstrapped_primary_rejected(self):
+        network, agents, _plane, _tracer = build_plane()
+        fresh = Controller("ghost", network.loop)
+        with pytest.raises(ReplicationError):
+            ReplicatedControlPlane(network, fresh, [])
+
+
+class TestSerializationRoundTrip:
+    def test_blueprint_roundtrip(self):
+        from repro.topology import dumps, loads
+
+        topo = paper_testbed()
+        clone = loads(dumps(topo))
+        assert clone.same_wiring(topo)
+
+    def test_bad_blueprints_rejected(self):
+        from repro.topology import TopologyError, topology_from_dict
+
+        with pytest.raises(TopologyError):
+            topology_from_dict({"format": 99})
+        with pytest.raises(TopologyError):
+            topology_from_dict({"format": 1})
+        with pytest.raises(TopologyError):
+            topology_from_dict(
+                {"format": 1, "switches": {"S": 4}, "links": [["S", 1, "T"]]}
+            )
+
+    def test_discovered_view_serializes(self):
+        from repro.topology import dumps, loads
+
+        fab = DumbNetFabric(paper_testbed(), controller_host="h0_0", seed=2)
+        result = fab.bootstrap()
+        clone = loads(dumps(result.view))
+        assert clone.same_wiring(result.view)

@@ -1,0 +1,200 @@
+"""Dataplane tests for the stateless switch."""
+
+import pytest
+
+from repro.core.messages import PortStateNotification, SwitchIDReply
+from repro.core.packet import (
+    ETHERTYPE_DUMBNET,
+    ETHERTYPE_IPV4,
+    ETHERTYPE_NOTIFY,
+    ID_QUERY,
+    Packet,
+    PathTags,
+)
+from repro.core.switch import ALARM_SUPPRESS_SECONDS, DumbSwitch
+from repro.netsim import Channel, Device, EventLoop, Tracer
+
+
+class Sink(Device):
+    """Captures everything delivered to it."""
+
+    def __init__(self, name, loop):
+        super().__init__(name, loop)
+        self.packets = []
+
+    def handle_packet(self, port, packet):
+        self.packets.append((port, packet))
+
+
+def rig(num_ports=4, fanout=2):
+    """One switch with ``fanout`` sinks attached to ports 1..fanout."""
+    loop = EventLoop()
+    switch = DumbSwitch("S", num_ports, loop, tracer=Tracer())
+    sinks = {}
+    for port in range(1, fanout + 1):
+        sink = Sink(f"sink{port}", loop)
+        channel = Channel(loop)
+        switch.attach(port, channel.ends[0])
+        sink.attach(1, channel.ends[1])
+        sinks[port] = sink
+    return loop, switch, sinks
+
+
+def dumbnet_packet(tags, payload=None):
+    return Packet(src="src", ethertype=ETHERTYPE_DUMBNET, tags=PathTags(tags), payload=payload)
+
+
+class TestForwarding:
+    def test_pops_one_tag_and_forwards(self):
+        loop, switch, sinks = rig()
+        switch.receive(3, dumbnet_packet([1, 9]))
+        loop.run()
+        assert len(sinks[1].packets) == 1
+        _port, packet = sinks[1].packets[0]
+        assert packet.tags.remaining == (9,)
+        assert switch.forwarded == 1
+
+    def test_tag_to_unwired_port_drops(self):
+        loop, switch, sinks = rig(num_ports=8, fanout=2)
+        switch.receive(1, dumbnet_packet([7]))
+        loop.run()
+        assert switch.dropped_dead_port == 1
+        assert all(not s.packets for s in sinks.values())
+
+    def test_tag_beyond_port_count_drops(self):
+        loop, switch, _ = rig(num_ports=4)
+        switch.receive(1, dumbnet_packet([9]))
+        loop.run()
+        assert switch.dropped_bad_tag == 1
+
+    def test_exhausted_tags_drop(self):
+        loop, switch, _ = rig()
+        switch.receive(1, dumbnet_packet([]))
+        loop.run()
+        assert switch.dropped_bad_tag == 1
+
+    def test_foreign_ethertype_drops(self):
+        loop, switch, sinks = rig()
+        switch.receive(1, Packet(src="x", ethertype=ETHERTYPE_IPV4))
+        loop.run()
+        assert switch.dropped_bad_tag == 1
+        assert not sinks[1].packets
+
+    def test_down_port_drops(self):
+        loop, switch, sinks = rig()
+        sinks[1].ports[1].channel.up = False
+        switch.receive(2, dumbnet_packet([1]))
+        loop.run()
+        assert switch.dropped_dead_port == 1
+
+
+class TestIdQuery:
+    def test_replaces_payload_and_continues(self):
+        loop, switch, sinks = rig()
+        switch.receive(3, dumbnet_packet([ID_QUERY, 1], payload="probe"))
+        loop.run()
+        _port, packet = sinks[1].packets[0]
+        assert isinstance(packet.payload, SwitchIDReply)
+        assert packet.payload.switch_id == "S"
+        assert packet.payload.echo == "probe"
+        assert switch.id_queries_answered == 1
+
+    def test_query_with_no_next_tag_drops(self):
+        loop, switch, _ = rig()
+        switch.receive(1, dumbnet_packet([ID_QUERY]))
+        loop.run()
+        assert switch.dropped_bad_tag == 1
+
+    def test_double_query_drops(self):
+        loop, switch, _ = rig()
+        switch.receive(1, dumbnet_packet([ID_QUERY, ID_QUERY, 1]))
+        loop.run()
+        assert switch.dropped_bad_tag == 1
+
+
+class TestFailureNotification:
+    def test_port_down_floods_all_live_ports(self):
+        loop, switch, sinks = rig(num_ports=4, fanout=3)
+        switch.port_state_changed(4, False)
+        loop.run()
+        for port in (1, 2, 3):
+            notes = [
+                p for _pt, p in sinks[port].packets
+                if p.ethertype == ETHERTYPE_NOTIFY
+            ]
+            assert len(notes) == 1
+            note = notes[0].payload
+            assert isinstance(note, PortStateNotification)
+            assert note.switch == "S" and note.port == 4 and note.up is False
+        assert switch.notifications_originated == 1
+
+    def test_alarm_suppression_rate_limits(self):
+        loop, switch, sinks = rig(fanout=1)
+        # A flapping port: 5 transitions inside one second.
+        for i in range(5):
+            loop.schedule(i * 0.1, switch.port_state_changed, 3, i % 2 == 0)
+        loop.run()
+        notes = [p for _pt, p in sinks[1].packets if p.ethertype == ETHERTYPE_NOTIFY]
+        assert len(notes) == 1  # suppressed to one alarm per second
+
+    def test_alarm_after_suppression_window(self):
+        loop, switch, sinks = rig(fanout=1)
+        loop.schedule(0.0, switch.port_state_changed, 3, False)
+        loop.schedule(ALARM_SUPPRESS_SECONDS + 0.1, switch.port_state_changed, 3, True)
+        loop.run()
+        notes = [p for _pt, p in sinks[1].packets if p.ethertype == ETHERTYPE_NOTIFY]
+        assert len(notes) == 2
+
+    def test_relay_decrements_ttl(self):
+        loop, switch, sinks = rig(fanout=2)
+        incoming = Packet(
+            src="other",
+            ethertype=ETHERTYPE_NOTIFY,
+            payload=PortStateNotification("other", 1, False, 1),
+            ttl=3,
+        )
+        switch.receive(1, incoming)
+        loop.run()
+        # Relayed out every live port except the ingress.
+        assert not any(
+            p.ethertype == ETHERTYPE_NOTIFY for _pt, p in sinks[1].packets
+        )
+        relayed = [p for _pt, p in sinks[2].packets if p.ethertype == ETHERTYPE_NOTIFY]
+        assert len(relayed) == 1 and relayed[0].ttl == 2
+
+    def test_ttl_expiry_stops_flood(self):
+        loop, switch, sinks = rig(fanout=2)
+        incoming = Packet(
+            src="other",
+            ethertype=ETHERTYPE_NOTIFY,
+            payload=PortStateNotification("other", 1, False, 1),
+            ttl=1,
+        )
+        switch.receive(1, incoming)
+        loop.run()
+        assert not any(
+            p.ethertype == ETHERTYPE_NOTIFY for _pt, p in sinks[2].packets
+        )
+
+
+class TestStatelessness:
+    def test_no_forwarding_state_accumulates(self):
+        """The switch must behave identically for every packet: no
+        learning, no tables.  We send many packets and assert the only
+        mutable attributes that changed are counters/soft alarm state."""
+        loop, switch, sinks = rig()
+        for _ in range(50):
+            switch.receive(2, dumbnet_packet([1]))
+        loop.run()
+        assert switch.forwarded == 50
+        # No MAC/port tables exist at all.
+        for attr in ("mac_table", "table", "fib", "routes"):
+            assert not hasattr(switch, attr)
+
+    def test_forwarding_identical_regardless_of_history(self):
+        loop, switch, sinks = rig()
+        switch.receive(2, dumbnet_packet([1, 5]))
+        switch.receive(2, dumbnet_packet([1, 5]))
+        loop.run()
+        first, second = (p for _pt, p in sinks[1].packets)
+        assert first.tags.remaining == second.tags.remaining == (5,)

@@ -1,0 +1,110 @@
+"""In-band packet statistics tests (Section 8 future work)."""
+
+import pytest
+
+from repro.core.fabric import DumbNetFabric
+from repro.core.telemetry import (
+    FabricReport,
+    StatsSwitch,
+    SwitchStatsReply,
+    TelemetryCollector,
+)
+from repro.topology import leaf_spine, paper_testbed
+
+
+@pytest.fixture
+def fabric():
+    fab = DumbNetFabric(
+        leaf_spine(2, 2, 2, num_ports=16),
+        controller_host="h0_0",
+        seed=19,
+        switch_cls=StatsSwitch,
+    )
+    fab.adopt_blueprint()
+    return fab
+
+
+class TestStatsSwitch:
+    def test_discovery_still_works_through_stats_switches(self):
+        fab = DumbNetFabric(
+            leaf_spine(2, 2, 2, num_ports=16),
+            controller_host="h0_0",
+            seed=19,
+            switch_cls=StatsSwitch,
+        )
+        result = fab.bootstrap()
+        assert result.view.same_wiring(fab.topology)
+
+    def test_counters_track_traffic(self, fabric):
+        fabric.warm_paths([("h0_1", "h1_1")])
+        for i in range(10):
+            fabric.agents["h0_1"].send_app("h1_1", ("d", i), flow_key="f")
+        fabric.run_until_idle()
+        leaf0 = fabric.network.switches["leaf0"]
+        assert leaf0.forwarded >= 10
+        assert sum(leaf0.tx_frames.values()) >= 10
+
+    def test_stats_reply_is_an_id_reply(self):
+        reply = SwitchStatsReply(
+            switch_id="S", echo=None, counters=(("forwarded", 3),)
+        )
+        from repro.core.messages import SwitchIDReply
+
+        assert isinstance(reply, SwitchIDReply)
+        assert reply.counter("forwarded") == 3
+        assert reply.counter("missing") == 0
+
+
+class TestTelemetryCollector:
+    def test_collects_every_switch(self, fabric):
+        collector = TelemetryCollector(fabric.controller, fabric.network)
+        report = collector.collect()
+        assert set(report.rows) == set(fabric.topology.switches)
+        assert not report.unreachable
+
+    def test_totals_reflect_traffic(self, fabric):
+        fabric.warm_paths([("h0_1", "h1_1")])
+        for i in range(20):
+            fabric.agents["h0_1"].send_app("h1_1", ("d", i), flow_key="f")
+        fabric.run_until_idle()
+        report = TelemetryCollector(fabric.controller, fabric.network).collect()
+        assert report.total("forwarded") >= 40  # >= 2 switch hops x 20
+
+    def test_hottest_ports_ranked(self, fabric):
+        fabric.warm_paths([("h0_1", "h1_1")])
+        for i in range(30):
+            fabric.agents["h0_1"].send_app("h1_1", ("d", i), flow_key="f")
+        fabric.run_until_idle()
+        report = TelemetryCollector(fabric.controller, fabric.network).collect()
+        hot = report.hottest_ports(top=3)
+        assert hot
+        counts = [c for _sw, _p, c in hot]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_requires_bootstrapped_controller(self):
+        fab = DumbNetFabric(
+            leaf_spine(2, 2, 2, num_ports=16), controller_host="h0_0"
+        )
+        with pytest.raises(RuntimeError):
+            TelemetryCollector(fab.controller, fab.network)
+
+    def test_plain_switches_report_no_counters(self):
+        fab = DumbNetFabric(
+            leaf_spine(2, 2, 2, num_ports=16), controller_host="h0_0", seed=3
+        )
+        fab.adopt_blueprint()
+        report = TelemetryCollector(fab.controller, fab.network).collect()
+        # Plain DumbSwitches answer the query (they are reachable) but
+        # carry no counters payload.
+        assert set(report.rows) == set(fab.topology.switches)
+        assert all(not counters for counters in report.rows.values())
+
+    def test_counters_monotone_between_polls(self, fabric):
+        fabric.warm_paths([("h0_1", "h1_1")])
+        collector = TelemetryCollector(fabric.controller, fabric.network)
+        first = collector.collect()
+        for i in range(10):
+            fabric.agents["h0_1"].send_app("h1_1", ("d", i), flow_key="f")
+        fabric.run_until_idle()
+        second = collector.collect()
+        assert second.total("forwarded") > first.total("forwarded")

@@ -1,0 +1,280 @@
+"""Unit tests for the topology model and its graph algorithms."""
+
+import random
+
+import pytest
+
+from repro.topology import (
+    HostAttachment,
+    Link,
+    PortRef,
+    Topology,
+    TopologyError,
+    figure1,
+    line,
+    ring,
+)
+
+
+def build_square():
+    """A 4-cycle: two disjoint paths between opposite corners."""
+    topo = Topology()
+    for sw in "ABCD":
+        topo.add_switch(sw, 8)
+    topo.add_link("A", 1, "B", 1)
+    topo.add_link("B", 2, "C", 1)
+    topo.add_link("C", 2, "D", 1)
+    topo.add_link("D", 2, "A", 2)
+    topo.add_host("hA", "A", 5)
+    topo.add_host("hC", "C", 5)
+    return topo
+
+
+class TestConstruction:
+    def test_counts(self):
+        topo = build_square()
+        assert len(topo.switches) == 4
+        assert len(topo.links) == 4
+        assert topo.hosts == ["hA", "hC"]
+
+    def test_duplicate_switch_rejected(self):
+        topo = Topology()
+        topo.add_switch("S", 4)
+        with pytest.raises(TopologyError):
+            topo.add_switch("S", 4)
+
+    def test_port_range_enforced(self):
+        topo = Topology()
+        topo.add_switch("S", 4)
+        with pytest.raises(TopologyError):
+            topo.add_host("h", "S", 5)
+        with pytest.raises(TopologyError):
+            topo.add_host("h", "S", 0)
+
+    def test_port_conflict_rejected(self):
+        topo = Topology()
+        topo.add_switch("S", 4)
+        topo.add_switch("T", 4)
+        topo.add_link("S", 1, "T", 1)
+        with pytest.raises(TopologyError):
+            topo.add_host("h", "S", 1)
+        with pytest.raises(TopologyError):
+            topo.add_link("S", 1, "T", 2)
+
+    def test_self_link_rejected(self):
+        topo = Topology()
+        topo.add_switch("S", 4)
+        with pytest.raises(TopologyError):
+            topo.add_link("S", 1, "S", 2)
+        with pytest.raises(TopologyError):
+            Link(PortRef("S", 1), PortRef("S", 1))
+
+    def test_unknown_nodes_raise(self):
+        topo = Topology()
+        with pytest.raises(TopologyError):
+            topo.add_host("h", "nope", 1)
+        with pytest.raises(TopologyError):
+            topo.num_ports("nope")
+        with pytest.raises(TopologyError):
+            topo.host_port("ghost")
+
+    def test_switch_needs_a_port(self):
+        topo = Topology()
+        with pytest.raises(TopologyError):
+            topo.add_switch("S", 0)
+
+
+class TestQueries:
+    def test_peer_kinds(self):
+        topo = build_square()
+        peer = topo.peer("A", 1)
+        assert isinstance(peer, PortRef) and peer == PortRef("B", 1)
+        attach = topo.peer("A", 5)
+        assert isinstance(attach, HostAttachment) and attach.host == "hA"
+        assert topo.peer("A", 3) is None
+
+    def test_neighbors_and_degree(self):
+        topo = build_square()
+        assert topo.neighbors("A") == ["B", "D"]
+        assert topo.degree("A") == 2
+
+    def test_hosts_on(self):
+        topo = build_square()
+        assert topo.hosts_on("A") == ["hA"]
+        assert topo.hosts_on("B") == []
+
+    def test_links_between_parallel(self):
+        topo = Topology()
+        topo.add_switch("S", 8)
+        topo.add_switch("T", 8)
+        topo.add_link("S", 1, "T", 1)
+        topo.add_link("S", 2, "T", 2)
+        assert len(topo.links_between("S", "T")) == 2
+        # Parallel links collapse in the neighbor list.
+        assert topo.neighbors("S") == ["T"]
+
+    def test_link_other_end(self):
+        topo = build_square()
+        link = topo.links_between("A", "B")[0]
+        assert link.other(link.a) == link.b
+        assert link.other(link.b) == link.a
+        with pytest.raises(TopologyError):
+            link.other(PortRef("Z", 9))
+
+
+class TestMutation:
+    def test_remove_link_frees_ports(self):
+        topo = build_square()
+        topo.remove_link("A", 1, "B", 1)
+        assert topo.peer("A", 1) is None
+        assert topo.peer("B", 1) is None
+        assert "B" not in topo.neighbors("A")
+        # The freed ports are reusable.
+        topo.add_link("A", 1, "B", 1)
+
+    def test_remove_missing_link_raises(self):
+        topo = build_square()
+        with pytest.raises(TopologyError):
+            topo.remove_link("A", 3, "B", 3)
+
+    def test_remove_switch_cascades(self):
+        topo = build_square()
+        topo.remove_switch("A")
+        assert not topo.has_switch("A")
+        assert not topo.has_host("hA")
+        assert topo.peer("B", 1) is None
+        assert topo.peer("D", 2) is None
+
+    def test_remove_host(self):
+        topo = build_square()
+        topo.remove_host("hA")
+        assert not topo.has_host("hA")
+        assert topo.peer("A", 5) is None
+        assert topo.hosts_on("A") == []
+
+    def test_copy_is_independent(self):
+        topo = build_square()
+        clone = topo.copy()
+        assert clone.same_wiring(topo)
+        clone.remove_link("A", 1, "B", 1)
+        assert not clone.same_wiring(topo)
+        assert topo.has_link("A", 1, "B", 1)
+
+
+class TestConnectivity:
+    def test_connected(self):
+        assert build_square().is_connected()
+
+    def test_disconnected(self):
+        topo = build_square()
+        topo.remove_link("A", 1, "B", 1)
+        topo.remove_link("D", 2, "A", 2)
+        assert not topo.is_connected()
+
+    def test_empty_is_connected(self):
+        assert Topology().is_connected()
+
+
+class TestShortestPaths:
+    def test_distances(self):
+        topo = ring(6)
+        dist = topo.switch_distances("R0")
+        assert dist["R0"] == 0
+        assert dist["R3"] == 3
+        assert dist["R5"] == 1
+
+    def test_shortest_path_endpoints(self):
+        topo = build_square()
+        path = topo.shortest_switch_path("A", "C")
+        assert path is not None
+        assert path[0] == "A" and path[-1] == "C" and len(path) == 3
+
+    def test_shortest_path_same_node(self):
+        topo = build_square()
+        assert topo.shortest_switch_path("A", "A") == ["A"]
+
+    def test_unreachable_returns_none(self):
+        topo = build_square()
+        topo.remove_link("A", 1, "B", 1)
+        topo.remove_link("D", 2, "A", 2)
+        assert topo.shortest_switch_path("A", "C") is None
+
+    def test_randomized_tie_breaking_varies(self):
+        topo = build_square()
+        rng = random.Random(3)
+        seen = set()
+        for _ in range(50):
+            path = topo.shortest_switch_path("A", "C", rng=rng)
+            seen.add(tuple(path))
+        # A square has exactly two shortest paths; both should appear.
+        assert seen == {("A", "B", "C"), ("A", "D", "C")}
+
+    def test_link_costs_steer_away(self):
+        topo = build_square()
+        link = topo.links_between("A", "B")[0]
+        costs = {link.key(): 100.0}
+        path = topo.shortest_switch_path("A", "C", link_costs=costs)
+        assert path == ["A", "D", "C"]
+
+    def test_k_shortest_distinct_and_ordered(self):
+        topo = ring(6)
+        paths = topo.k_shortest_switch_paths("R0", "R3", 4)
+        assert len(paths) == 2  # clockwise and counterclockwise only
+        assert len(paths[0]) <= len(paths[1])
+        assert paths[0] != paths[1]
+        for path in paths:
+            assert path[0] == "R0" and path[-1] == "R3"
+            assert len(set(path)) == len(path)  # loop-free
+
+    def test_k_shortest_k1(self):
+        topo = build_square()
+        assert len(topo.k_shortest_switch_paths("A", "C", 1)) == 1
+
+    def test_k_shortest_unreachable(self):
+        topo = Topology()
+        topo.add_switch("X", 2)
+        topo.add_switch("Y", 2)
+        assert topo.k_shortest_switch_paths("X", "Y", 3) == []
+
+
+class TestEncoding:
+    def test_encode_matches_ports(self):
+        topo = figure1()
+        tags = topo.encode_path("H4", ["S4", "S2", "S5"], "H5")
+        # S4 -> S2 is S4 port 1; S2 -> S5 is S2 port 3; H5 sits on S5-5.
+        assert tags == [1, 3, 5]
+
+    def test_encode_rejects_wrong_endpoints(self):
+        topo = figure1()
+        with pytest.raises(TopologyError):
+            topo.encode_path("H4", ["S2", "S5"], "H5")
+        with pytest.raises(TopologyError):
+            topo.encode_path("H4", ["S4", "S2"], "H5")
+
+    def test_encode_rejects_nonadjacent(self):
+        topo = figure1()
+        with pytest.raises(TopologyError):
+            topo.encode_path("H4", ["S4", "S3", "S5"], "H5")
+
+    def test_decode_roundtrip(self):
+        topo = figure1()
+        tags = topo.encode_path("H4", ["S4", "S2", "S5"], "H5")
+        assert topo.decode_tags("H4", tags) == ["S4", "S2", "S5"]
+
+    def test_decode_rejects_dangling(self):
+        topo = figure1()
+        with pytest.raises(TopologyError):
+            topo.decode_tags("H4", [1])  # ends on a switch
+        with pytest.raises(TopologyError):
+            topo.decode_tags("H4", [7])  # empty port
+
+    def test_decode_rejects_extra_tags_after_host(self):
+        topo = figure1()
+        with pytest.raises(TopologyError):
+            topo.decode_tags("H4", [1, 3, 5, 2])
+
+    def test_line_end_to_end(self):
+        topo = line(4)
+        tags = topo.encode_path("hL0_0", ["L0", "L1", "L2", "L3"], "hL3_0")
+        assert tags == [2, 2, 2, 3]
+        assert topo.decode_tags("hL0_0", tags) == ["L0", "L1", "L2", "L3"]

@@ -1,0 +1,166 @@
+"""Tests for topology validation and load-balance analysis."""
+
+import pytest
+
+from repro.analysis import (
+    hotspot_ratio,
+    jain_index,
+    link_loads_from_flows,
+    utilization_table,
+)
+from repro.flowsim import (
+    FlowNet,
+    FluidSimulator,
+    RebalancingKPathPolicy,
+    SingleShortestPolicy,
+)
+from repro.topology import Topology, fat_tree, leaf_spine, line, ring
+from repro.topology.validation import (
+    bisection_links,
+    diameter,
+    redundancy_level,
+    validate_for_dumbnet,
+)
+
+
+class TestDiameter:
+    def test_line(self):
+        assert diameter(line(5)) == 4
+
+    def test_ring(self):
+        assert diameter(ring(6)) == 3
+
+    def test_fat_tree(self):
+        assert diameter(fat_tree(4)) == 4  # edge-agg-core-agg-edge
+
+    def test_single_switch(self):
+        topo = Topology()
+        topo.add_switch("S", 4)
+        assert diameter(topo) == 0
+
+    def test_disconnected_raises(self):
+        topo = Topology()
+        topo.add_switch("A", 4)
+        topo.add_switch("B", 4)
+        with pytest.raises(ValueError):
+            diameter(topo)
+
+
+class TestBisection:
+    def test_leaf_spine_cut(self):
+        topo = leaf_spine(2, 4, 1, num_ports=16)
+        # Cut separating the spines from the leaves crosses every link.
+        assert bisection_links(topo, {"spine0", "spine1"}) == 8
+
+    def test_half_leaves(self):
+        topo = leaf_spine(2, 4, 1, num_ports=16)
+        part = {"leaf0", "leaf1"}
+        assert bisection_links(topo, part) == 4
+
+
+class TestRedundancy:
+    def test_ring_has_two(self):
+        assert redundancy_level(ring(6), "R0", "R3") == 2
+
+    def test_line_has_one(self):
+        assert redundancy_level(line(4), "L0", "L3") == 1
+
+    def test_same_switch(self):
+        assert redundancy_level(ring(4), "R0", "R0") == 0
+
+    def test_fat_tree_cross_pod(self):
+        assert redundancy_level(fat_tree(4), "edge0_0", "edge1_0") >= 2
+
+
+class TestValidation:
+    def test_clean_fabric(self):
+        report = validate_for_dumbnet(leaf_spine(2, 3, 2, num_ports=16))
+        assert report.ok
+        assert str(report) == "ok"
+
+    def test_disconnected_fabric(self):
+        topo = Topology()
+        topo.add_switch("A", 4)
+        topo.add_switch("B", 4)
+        report = validate_for_dumbnet(topo)
+        assert not report.ok
+        assert any("disconnected" in e for e in report.errors)
+
+    def test_bridge_warning(self):
+        report = validate_for_dumbnet(line(3))
+        assert report.ok
+        assert any("single point of failure" in w for w in report.warnings)
+
+    def test_excess_diameter_rejected(self):
+        report = validate_for_dumbnet(line(40), max_path_tags=16)
+        assert not report.ok
+        assert any("tags" in e for e in report.errors)
+
+    def test_diameter_warning_zone(self):
+        report = validate_for_dumbnet(line(12), max_path_tags=16)
+        assert report.ok
+        assert any("half the tag budget" in w for w in report.warnings)
+
+    def test_empty_topology(self):
+        assert not validate_for_dumbnet(Topology()).ok
+
+
+class TestJainAndHotspot:
+    def test_even_is_one(self):
+        assert jain_index([5, 5, 5, 5]) == pytest.approx(1.0)
+        assert hotspot_ratio([5, 5, 5]) == pytest.approx(1.0)
+
+    def test_single_hotspot(self):
+        assert jain_index([1, 0, 0, 0]) == pytest.approx(0.25)
+        assert hotspot_ratio([4, 0, 0, 0]) == pytest.approx(4.0)
+
+    def test_zero_loads(self):
+        assert jain_index([0, 0]) == 1.0
+        assert hotspot_ratio([0, 0]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            jain_index([])
+        with pytest.raises(ValueError):
+            hotspot_ratio([])
+
+
+class TestLinkLoads:
+    def _run(self, policy):
+        topo = leaf_spine(2, 2, 4, num_ports=16)
+        net = FlowNet(topo, link_bps=1e9, host_bps=1e9)
+        sim = FluidSimulator(net, policy)
+        for i in range(4):
+            sim.add_flow(f"h0_{i}", f"h1_{i}", 1e9)
+        sim.run(until=0.5)
+        return net, sim
+
+    def test_loads_respect_capacity(self):
+        net, sim = self._run(RebalancingKPathPolicy(k=2))
+        loads = link_loads_from_flows(sim.flows, net)
+        for link, load in loads.items():
+            assert load <= net.capacities[link] + 1e-6
+
+    def test_te_balances_better_than_single_path(self):
+        """The Figure 13 mechanism, measured directly: flowlet-style
+        rebalancing yields a higher Jain index over spine uplinks."""
+        indices = {}
+        for name, policy in (
+            ("single", SingleShortestPolicy()),
+            ("rebalance", RebalancingKPathPolicy(k=2)),
+        ):
+            net, sim = self._run(policy)
+            loads = link_loads_from_flows(sim.flows, net)
+            uplinks = [
+                loads.get(("tx", "leaf0", p), 0.0) for p in (1, 2)
+            ]
+            indices[name] = jain_index(uplinks)
+        assert indices["rebalance"] > indices["single"]
+
+    def test_utilization_table_sorted(self):
+        net, sim = self._run(RebalancingKPathPolicy(k=2))
+        loads = link_loads_from_flows(sim.flows, net)
+        table = utilization_table(loads, net.capacities)
+        utils = [u for _l, u in table]
+        assert utils == sorted(utils, reverse=True)
+        assert all(0 <= u <= 1 + 1e-9 for u in utils)

@@ -1,0 +1,83 @@
+"""Path verifier tests (Section 6.1)."""
+
+import pytest
+
+from repro.core.pathcache import CachedPath
+from repro.core.verifier import PathVerifier, SwitchSetPolicy, VerificationPolicy
+from repro.topology import figure1
+
+
+def cp(topo, src, switches, dst):
+    tags = topo.encode_path(src, switches, dst)
+    return CachedPath.from_encoding(switches, tags)
+
+
+@pytest.fixture
+def topo():
+    return figure1()
+
+
+class TestStructuralChecks:
+    def test_valid_path_passes(self, topo):
+        verifier = PathVerifier(topo)
+        path = cp(topo, "H4", ["S4", "S2", "S5"], "H5")
+        assert verifier.verify("H4", "H5", path)
+        assert verifier.checks == 1 and verifier.rejections == 0
+
+    def test_wrong_start_switch(self, topo):
+        verifier = PathVerifier(topo)
+        path = cp(topo, "H4", ["S4", "S2", "S5"], "H5")
+        assert not verifier.verify("H1", "H5", path)  # H1 is on S1
+
+    def test_wrong_destination(self, topo):
+        verifier = PathVerifier(topo)
+        path = cp(topo, "H4", ["S4", "S2", "S5"], "H5")
+        assert not verifier.verify("H4", "H3", path)
+
+    def test_fabricated_tag_rejected(self, topo):
+        verifier = PathVerifier(topo)
+        fake = CachedPath.from_encoding(["S4", "S2", "S5"], (1, 7, 5))
+        assert not verifier.verify("H4", "H5", fake)
+
+    def test_mismatched_lengths_rejected(self, topo):
+        verifier = PathVerifier(topo)
+        fake = CachedPath.from_encoding(["S4", "S2", "S5"], (1, 3))
+        assert not verifier.verify("H4", "H5", fake)
+
+    def test_claimed_switch_sequence_must_match_wiring(self, topo):
+        verifier = PathVerifier(topo)
+        # Tags route via S2 but the sequence claims S1: spoofed.
+        fake = CachedPath.from_encoding(["S4", "S1", "S5"], (1, 3, 5))
+        assert not verifier.verify("H4", "H5", fake)
+
+    def test_unknown_hosts_rejected(self, topo):
+        verifier = PathVerifier(topo)
+        path = cp(topo, "H4", ["S4", "S2", "S5"], "H5")
+        assert not verifier.verify("ghost", "H5", path)
+
+    def test_nonexistent_switch_rejected(self, topo):
+        verifier = PathVerifier(topo)
+        fake = CachedPath.from_encoding(["S9"], (5,))
+        assert not verifier.verify("H4", "H5", fake)
+
+
+class TestPolicies:
+    def test_default_policy_allows_all(self, topo):
+        assert VerificationPolicy().allows(
+            CachedPath.from_encoding(["X"], (1,))
+        )
+
+    def test_switch_set_policy(self, topo):
+        verifier = PathVerifier(topo, policy=SwitchSetPolicy({"S4", "S5"}))
+        direct = cp(topo, "H4", ["S4", "S5"], "H5")
+        via_s2 = cp(topo, "H4", ["S4", "S2", "S5"], "H5")
+        assert verifier.verify("H4", "H5", direct)
+        assert not verifier.verify("H4", "H5", via_s2)
+        assert verifier.rejections == 1
+
+    def test_rejection_counter(self, topo):
+        verifier = PathVerifier(topo, policy=SwitchSetPolicy(set()))
+        path = cp(topo, "H4", ["S4", "S5"], "H5")
+        for _ in range(3):
+            assert not verifier.verify("H4", "H5", path)
+        assert verifier.rejections == 3

@@ -1,0 +1,113 @@
+"""Network virtualization tests (Section 6.1)."""
+
+import pytest
+
+from repro.core.pathcache import CachedPath
+from repro.core.virtualization import VirtualizationError, VirtualNetworkManager
+from repro.topology import leaf_spine, paper_testbed
+
+
+@pytest.fixture
+def manager():
+    return VirtualNetworkManager(paper_testbed())
+
+
+def encode(topo, src, switches, dst):
+    return CachedPath.from_encoding(switches, topo.encode_path(src, switches, dst))
+
+
+class TestTenantCreation:
+    def test_full_fabric_tenant(self, manager):
+        tenant = manager.create_tenant("t1", hosts=["h0_0", "h4_0"])
+        assert tenant.view.has_host("h0_0")
+        assert set(tenant.view.switches) == set(manager.physical.switches)
+
+    def test_sliced_tenant_view(self, manager):
+        tenant = manager.create_tenant(
+            "blue", hosts=["h0_0", "h1_0"], switches=["spine0"]
+        )
+        # Attachment leaves are auto-included.
+        assert set(tenant.view.switches) == {"spine0", "leaf0", "leaf1"}
+        assert not tenant.view.has_switch("spine1")
+
+    def test_tenant_sees_only_its_hosts(self, manager):
+        tenant = manager.create_tenant("t", hosts=["h0_0", "h1_0"])
+        assert not tenant.view.has_host("h2_0")
+
+    def test_duplicate_tenant_rejected(self, manager):
+        manager.create_tenant("t", hosts=["h0_0"])
+        with pytest.raises(VirtualizationError):
+            manager.create_tenant("t", hosts=["h1_0"])
+
+    def test_unknown_members_rejected(self, manager):
+        with pytest.raises(VirtualizationError):
+            manager.create_tenant("t", hosts=["ghost"])
+        with pytest.raises(VirtualizationError):
+            manager.create_tenant("t", hosts=["h0_0"], switches=["ghost"])
+        with pytest.raises(VirtualizationError):
+            manager.create_tenant("t", hosts=[])
+
+
+class TestTopologySharing:
+    def test_topology_for_scopes_by_tenant(self, manager):
+        manager.create_tenant("blue", hosts=["h0_0"], switches=["spine0"])
+        manager.create_tenant("red", hosts=["h4_0"], switches=["spine1"])
+        blue_view = manager.topology_for("h0_0")
+        red_view = manager.topology_for("h4_0")
+        assert blue_view.has_switch("spine0") and not blue_view.has_switch("spine1")
+        assert red_view.has_switch("spine1") and not red_view.has_switch("spine0")
+        assert manager.topology_for("h2_0") is None
+
+    def test_tenant_of(self, manager):
+        manager.create_tenant("t", hosts=["h0_0"])
+        assert manager.tenant_of("h0_0").name == "t"
+        assert manager.tenant_of("h1_0") is None
+
+
+class TestIsolation:
+    def test_inside_path_allowed(self, manager):
+        manager.create_tenant("blue", hosts=["h0_0", "h1_0"], switches=["spine0"])
+        topo = manager.physical
+        path = encode(topo, "h0_0", ["leaf0", "spine0", "leaf1"], "h1_0")
+        assert manager.path_allowed("h0_0", "h0_0", "h1_0", path)
+
+    def test_straying_path_rejected(self, manager):
+        manager.create_tenant("blue", hosts=["h0_0", "h1_0"], switches=["spine0"])
+        topo = manager.physical
+        # Route via spine1: physically valid, policy-forbidden.
+        path = encode(topo, "h0_0", ["leaf0", "spine1", "leaf1"], "h1_0")
+        assert not manager.path_allowed("h0_0", "h0_0", "h1_0", path)
+
+    def test_cross_tenant_destination_rejected(self, manager):
+        manager.create_tenant("blue", hosts=["h0_0", "h1_0"])
+        manager.create_tenant("red", hosts=["h4_0"])
+        topo = manager.physical
+        path = encode(topo, "h0_0", ["leaf0", "spine0", "leaf4"], "h4_0")
+        assert not manager.path_allowed("h0_0", "h0_0", "h4_0", path)
+
+    def test_non_member_rejected(self, manager):
+        manager.create_tenant("blue", hosts=["h0_0", "h1_0"])
+        topo = manager.physical
+        path = encode(topo, "h2_0", ["leaf2", "spine0", "leaf1"], "h1_0")
+        assert not manager.path_allowed("h2_0", "h2_0", "h1_0", path)
+
+
+class TestConnectivityCheck:
+    def test_connected_slice(self, manager):
+        manager.create_tenant("ok", hosts=["h0_0", "h1_0"], switches=["spine0"])
+        assert manager.tenant_connected("ok")
+
+    def test_disconnected_slice_detected(self):
+        topo = leaf_spine(2, 2, 1, num_ports=16)
+        manager = VirtualNetworkManager(topo)
+        # No spines included: the two leaves cannot talk.
+        manager.create_tenant("bad", hosts=["h0_0", "h1_0"], switches=[])
+        assert not manager.tenant_connected("bad")
+
+    def test_single_host_always_connected(self, manager):
+        manager.create_tenant("solo", hosts=["h0_0"], switches=[])
+        assert manager.tenant_connected("solo")
+
+    def test_unknown_tenant_raises(self, manager):
+        with pytest.raises(VirtualizationError):
+            manager.tenant_connected("nope")
