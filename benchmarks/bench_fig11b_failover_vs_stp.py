@@ -22,6 +22,7 @@ from repro.analysis import render_series
 from repro.baselines import L2Host, StpBridge
 from repro.baselines.stp import L2Frame
 from repro.core.fabric import DumbNetFabric
+from repro.faultinject import ChaosFabric, ChaosRunner, FaultSchedule
 from repro.netsim import LinkSpec, Network, Tracer
 from repro.topology import paper_testbed
 from repro.workloads import CbrStream
@@ -70,16 +71,19 @@ def run_dumbnet():
     stream.start()
     base = fabric.now
 
-    def cut():
-        # Cut the path the stream's flow is actually bound to.
-        entry = src.path_table.entry("h3_0")
+    def bound_link(chaos):
+        # Resolve, at fire time, the link the stream's flow is bound
+        # to right now: cutting a pre-picked link could miss the flow.
+        entry = chaos.agents["h2_0"].path_table.entry("h3_0")
         index = entry.flow_bindings.get(stream.flow_key, 0)
-        used = entry.primaries[index]
-        port = used.tags[0]
-        peer = fabric.topology.peer("leaf2", port)
-        fabric.fail_link("leaf2", port, peer.switch, peer.port)
+        if not 0 <= index < len(entry.primaries):
+            index = 0
+        port = entry.primaries[index].tags[0]
+        peer = chaos.topology.peer("leaf2", port)
+        return ("leaf2", port, peer.switch, peer.port)
 
-    fabric.loop.schedule(FAIL_AT_S, cut)
+    schedule = FaultSchedule().link_down(FAIL_AT_S, bound_link)
+    ChaosRunner(ChaosFabric.wrap(fabric), schedule).install()
     fabric.run(until=base + RUN_FOR_S)
     stream.stop()
     arrivals = [t - base for t, _b in stream.arrivals]

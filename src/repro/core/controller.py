@@ -62,6 +62,15 @@ class ControllerConfig(AgentConfig):
     #: Stage-2 processing delay before the patch flood starts: the paper
     #: measures patches arriving a few ms after the failure news.
     patch_delay_s: float = 1e-3
+    #: Hosts unreachable in the current view at announce time are
+    #: retried this often until the view heals (reprobes landing, a
+    #: deferred flap alarm arriving); 0 disables retries.
+    announce_retries: int = 8
+    announce_retry_s: float = 0.25
+    #: A reprobe session whose probes all vanish (lossy fabric, route
+    #: to the probed switch broken mid-session) is retried this many
+    #: times with exponential backoff before the port is given up on.
+    reprobe_retries: int = 2
 
 
 class Controller(HostAgent):
@@ -90,10 +99,15 @@ class Controller(HostAgent):
         self.replicator = None
         #: Pending link-up reprobe sessions.
         self._reprobes: Dict[Tuple[str, int], "_ReprobeSession"] = {}
+        #: Bumped by every announce_all so a stale retry chain from an
+        #: earlier announcement round cannot race a newer one.
+        self._announce_epoch = 0
         # Statistics.
         self.path_requests_served = 0
         self.patches_flooded = 0
         self.reprobes_run = 0
+        self.reprobes_retried = 0
+        self.announces_retried = 0
 
     # ------------------------------------------------------------------
     # bootstrap
@@ -104,7 +118,9 @@ class Controller(HostAgent):
         Must be called from outside the event loop (bootstrap time).
         """
         transport = EmulatedProbeTransport(self, network)
-        result = discover(transport, self.name)
+        result = discover(
+            transport, self.name, probe_retries=self.config.probe_retries
+        )
         self.adopt_view(result.view, attachment=result.origin_attachment)
         return result
 
@@ -133,13 +149,21 @@ class Controller(HostAgent):
             raise RuntimeError("announce_all before discovery")
         overlay = self.compute_gossip_overlay()
         self.gossip_neighbors = dict(overlay.get(self.name, ()))
+        self._announce_epoch += 1
         count = 0
+        missing = []
         for host in self.view.hosts:
             if host == self.name:
                 continue
             tags_out = self._tags_between(self.name, host)
             tags_back = self._tags_between(host, self.name)
             if tags_out is None or tags_back is None:
+                # The view has no route to this host right now (e.g. a
+                # failover adopted a replica view that still misses
+                # links a dead reprobe never confirmed).  Retry: the
+                # host would otherwise keep querying a dead controller
+                # forever.
+                missing.append(host)
                 continue
             ref = self.view.host_port(host)
             announce = ControllerAnnounce(
@@ -150,7 +174,53 @@ class Controller(HostAgent):
             )
             self.send_tagged(tags_out, announce, dst=host)
             count += 1
+        if missing and self.config.announce_retries > 0:
+            self.loop.schedule(
+                self.config.announce_retry_s,
+                self._retry_announce,
+                tuple(missing),
+                1,
+                self._announce_epoch,
+            )
         return count
+
+    def _retry_announce(
+        self, missing: Tuple[str, ...], attempt: int, epoch: int
+    ) -> None:
+        if (
+            epoch != self._announce_epoch
+            or not self.powered
+            or self.view is None
+            or self.controller != self.name  # demoted in the meantime
+        ):
+            return
+        overlay = self.compute_gossip_overlay()
+        still_missing = []
+        for host in missing:
+            if not self.view.has_host(host):
+                continue
+            tags_out = self._tags_between(self.name, host)
+            tags_back = self._tags_between(host, self.name)
+            if tags_out is None or tags_back is None:
+                still_missing.append(host)
+                continue
+            ref = self.view.host_port(host)
+            announce = ControllerAnnounce(
+                controller=self.name,
+                tags_to_controller=tags_back,
+                your_attachment=(ref.switch, ref.port),
+                gossip_neighbors=overlay.get(host, ()),
+            )
+            self.send_tagged(tags_out, announce, dst=host)
+            self.announces_retried += 1
+        if still_missing and attempt < self.config.announce_retries:
+            self.loop.schedule(
+                self.config.announce_retry_s,
+                self._retry_announce,
+                tuple(still_missing),
+                attempt + 1,
+                epoch,
+            )
 
     def bootstrap(self, network: Network) -> DiscoveryResult:
         """Discovery + announcements + loop drain: ready-to-run fabric."""
@@ -366,7 +436,7 @@ class Controller(HostAgent):
     # notifications, the controller will probe the ports to discover and
     # verify the newly added links and switches")
 
-    def _start_reprobe(self, switch: str, port: int) -> None:
+    def _start_reprobe(self, switch: str, port: int, attempt: int = 0) -> None:
         if self.view is None or not self.view.has_switch(switch):
             return
         if (switch, port) in self._reprobes:
@@ -376,8 +446,11 @@ class Controller(HostAgent):
         try:
             to_tags, from_tags = route_tags(self.view, self.name, switch)
         except Exception:
+            # No route to the probed switch right now; the view may
+            # heal (another reprobe, a deferred flap alarm), so retry.
+            self._maybe_retry_reprobe(switch, port, attempt)
             return
-        session = _ReprobeSession(switch=switch, port=port)
+        session = _ReprobeSession(switch=switch, port=port, attempt=attempt)
         self._reprobes[(switch, port)] = session
         self.reprobes_run += 1
         max_ports = self.view.num_ports(switch)
@@ -455,7 +528,15 @@ class Controller(HostAgent):
     def _finalize_reprobe(
         self, switch: str, port: int, host: Optional[str], keep_link: bool = False
     ) -> None:
-        self._reprobes.pop((switch, port), None)
+        session = self._reprobes.pop((switch, port), None)
+        if host is None and not keep_link:
+            # Nothing confirmed behind the port.  Either it is really
+            # empty, or every probe of this session was lost (lossy
+            # fabric, view route broken mid-session): silence cannot
+            # distinguish the two (Section 3.3), so retry a bounded
+            # number of times before accepting "empty".
+            attempt = session.attempt if session is not None else 0
+            self._maybe_retry_reprobe(switch, port, attempt)
         if host is not None and self.view is not None:
             if not self.view.has_host(host) and self.view.peer(switch, port) is None:
                 self.view.add_host(host, switch, port)
@@ -464,6 +545,34 @@ class Controller(HostAgent):
                     TopologyChange(op="host-up", args=(host, switch, port))
                 )
                 self._welcome_host(host)
+
+    def _maybe_retry_reprobe(self, switch: str, port: int, attempt: int) -> None:
+        if attempt >= self.config.reprobe_retries:
+            return
+        self.reprobes_retried += 1
+        self.loop.schedule(
+            REPROBE_SETTLE_S * (2 ** attempt),
+            self._start_reprobe,
+            switch,
+            port,
+            attempt + 1,
+        )
+
+    def reprobe_unknown_ports(self) -> int:
+        """Schedule a reprobe of every port the view knows nothing
+        about.  A freshly promoted primary calls this: the replica view
+        it adopted may miss links whose reprobe sessions died with the
+        old primary, and no further link-up news will ever arrive for
+        them."""
+        if self.view is None:
+            return 0
+        count = 0
+        for switch in sorted(self.view.switches):
+            for port in range(1, self.view.num_ports(switch) + 1):
+                if self.view.peer(switch, port) is None:
+                    self.loop.schedule(0.0, self._start_reprobe, switch, port)
+                    count += 1
+        return count
 
     def _welcome_host(self, host: str) -> None:
         """Announce ourselves to a newly discovered host so it can
@@ -488,6 +597,7 @@ class Controller(HostAgent):
 class _ReprobeSession:
     switch: str
     port: int
+    attempt: int = 0
     host_nonce: int = -1
     bounce_nonces: Dict[int, int] = field(default_factory=dict)
     verify_nonces: Dict[int, Tuple[int, str]] = field(default_factory=dict)

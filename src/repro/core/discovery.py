@@ -226,7 +226,42 @@ class DiscoveryStats:
     rounds: int = 0
     verifications: int = 0
     ambiguities_resolved: int = 0
+    #: Probes re-sent because their first attempt came back empty
+    #: (only non-zero when the caller enables ``probe_retries``).
+    probes_retried: int = 0
     elapsed_s: float = 0.0
+
+
+def _retrying_round(
+    transport: ProbeTransport,
+    stats: DiscoveryStats,
+    specs: Sequence[ProbeSpec],
+    probe_retries: int,
+) -> List[Optional[ProbeOutcome]]:
+    """One probe round, re-sending unanswered probes up to
+    ``probe_retries`` extra times.
+
+    A probe with no outcome is indistinguishable from a probe into an
+    empty port (scenario (i) in Section 3.3), so with retries enabled a
+    genuinely-empty port costs ``1 + probe_retries`` probes.  That is
+    why the default everywhere is 0 -- exact Figure 8 message counts --
+    and only loss-injected runs turn it on.
+    """
+    if not specs:
+        return []
+    outcomes = list(transport.probe_round(specs))
+    stats.rounds += 1
+    for _attempt in range(probe_retries):
+        missing = [i for i, o in enumerate(outcomes) if o is None]
+        if not missing:
+            break
+        retry = transport.probe_round([specs[i] for i in missing])
+        stats.rounds += 1
+        stats.probes_retried += len(missing)
+        for i, outcome in zip(missing, retry):
+            if outcome is not None:
+                outcomes[i] = outcome
+    return outcomes
 
 
 @dataclass
@@ -246,17 +281,20 @@ class DiscoveryResult:
         return len(self.view.hosts)
 
 
-def discover(transport: ProbeTransport, origin: str) -> DiscoveryResult:
-    """Map the network reachable from ``origin`` by BFS probing."""
+def discover(
+    transport: ProbeTransport, origin: str, probe_retries: int = 0
+) -> DiscoveryResult:
+    """Map the network reachable from ``origin`` by BFS probing.
+
+    ``probe_retries`` > 0 re-sends probes whose outcome was lost, which
+    keeps discovery correct on a lossy fabric at the price of inflated
+    probe counts (empty ports never answer, retried or not).
+    """
     stats = DiscoveryStats()
     max_ports = transport.max_ports
 
     def run_round(specs: List[ProbeSpec]) -> List[Optional[ProbeOutcome]]:
-        if not specs:
-            return []
-        outcomes = transport.probe_round(specs)
-        stats.rounds += 1
-        return outcomes
+        return _retrying_round(transport, stats, specs, probe_retries)
 
     # Phase 0: find our own port and the root switch ID by sending
     # 0-1-ø, 0-2-ø, ... and seeing which ID reply bounces back.
@@ -397,7 +435,10 @@ class VerificationReport:
 
 
 def verify_expected_topology(
-    transport: ProbeTransport, origin: str, expected: Topology
+    transport: ProbeTransport,
+    origin: str,
+    expected: Topology,
+    probe_retries: int = 0,
 ) -> VerificationReport:
     """Fast bootstrap: probe only the links/hosts the blueprint expects.
 
@@ -422,8 +463,7 @@ def verify_expected_topology(
         specs.append(ProbeSpec(tags=to_s + (ref.port,), reply_tags=from_s))
         what.append(("host", host))
 
-    outcomes = transport.probe_round(specs) if specs else []
-    stats.rounds = 1
+    outcomes = _retrying_round(transport, stats, specs, probe_retries)
     confirmed_links = 0
     confirmed_hosts = 0
     missing_links: List[Tuple[str, int, str, int]] = []

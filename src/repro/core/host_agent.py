@@ -69,9 +69,19 @@ class AgentConfig:
     path_graph_epsilon: int = 1
     #: Host software per-frame processing delay (DPDK-class stack).
     proc_delay_s: float = 5e-6
-    #: Controller query retry timer and budget.
+    #: Controller query retry timer and budget.  Retries back off
+    #: exponentially (timeout * backoff^tries, capped) with a small
+    #: random jitter so a lossy control path is not hammered in
+    #: lockstep by every waiting host.
     request_timeout_s: float = 0.05
     max_request_retries: int = 5
+    request_backoff: float = 2.0
+    request_timeout_cap_s: float = 0.8
+    request_jitter_frac: float = 0.1
+    #: Discovery probes lost to injected noise are re-sent this many
+    #: times.  0 keeps probe counts exact (Figure 8 accounting); chaos
+    #: runs raise it so seeded loss cannot wedge a bootstrap.
+    probe_retries: int = 0
     #: Default payload size for application sends, bytes.
     default_payload_bytes: int = 1000
 
@@ -132,6 +142,7 @@ class HostAgent(Device):
         self.news_received = 0
         self.gossip_sent = 0
         self.path_queries_sent = 0
+        self.path_queries_abandoned = 0
 
     # ------------------------------------------------------------------
     # low-level send helpers
@@ -214,13 +225,24 @@ class HostAgent(Device):
         self._path_requests[dst] = (nonce, 0)
         self._send_path_request(dst, nonce)
 
-    def _send_path_request(self, dst: str, nonce: int) -> None:
+    def _request_timeout(self, tries: int) -> float:
+        """Exponential backoff with jitter for retry ``tries``."""
+        cfg = self.config
+        timeout = min(
+            cfg.request_timeout_s * (cfg.request_backoff ** tries),
+            cfg.request_timeout_cap_s,
+        )
+        if cfg.request_jitter_frac > 0:
+            timeout *= 1.0 + cfg.request_jitter_frac * self.rng.random()
+        return timeout
+
+    def _send_path_request(self, dst: str, nonce: int, tries: int = 0) -> None:
         request = PathRequest(nonce=nonce, src=self.name, dst=dst, reply_tags=())
         assert self.tags_to_controller is not None
         self.send_tagged(self.tags_to_controller, request, dst=self.controller or "")
         self.path_queries_sent += 1
         self.loop.schedule(
-            self.config.request_timeout_s, self._maybe_retry_request, dst, nonce
+            self._request_timeout(tries), self._maybe_retry_request, dst, nonce
         )
 
     def _maybe_retry_request(self, dst: str, nonce: int) -> None:
@@ -229,12 +251,15 @@ class HostAgent(Device):
             return  # answered (or superseded) in the meantime
         _nonce, tries = state
         if tries + 1 >= self.config.max_request_retries:
+            # Degrade instead of hanging: abandon the query and the
+            # sends queued behind it; a later send_app starts afresh.
             del self._path_requests[dst]
             self._pending_sends.pop(dst, None)
+            self.path_queries_abandoned += 1
             return
         new_nonce = next_nonce()
         self._path_requests[dst] = (new_nonce, tries + 1)
-        self._send_path_request(dst, new_nonce)
+        self._send_path_request(dst, new_nonce, tries=tries + 1)
 
     # ------------------------------------------------------------------
     # probing interface (used by EmulatedProbeTransport and reprobes)

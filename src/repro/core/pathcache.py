@@ -85,7 +85,12 @@ class TopoCache:
     def record_attachment(self, host: str, switch: str, port: int) -> None:
         self._ensure_switch(switch)
         if self.fragment.has_host(host):
-            return
+            ref = self.fragment.host_port(host)
+            if (ref.switch, ref.port) == (switch, port):
+                return
+            # The host moved (VM migration, recabling): a stale
+            # attachment poisons every path encoded toward it.
+            self.fragment.remove_host(host)
         if self.fragment.peer(switch, port) is None:
             self.fragment.add_host(host, switch, port)
 
@@ -147,6 +152,12 @@ class TopoCache:
         return len(self.fragment.switches)
 
 
+#: Tombstone binding index: the flow *was* bound but its path died.
+#: Distinguishes "needs a failover rebind" from "never bound at all" so
+#: the failover counter counts path deaths, not first bindings.
+BINDING_DEAD = -1
+
+
 @dataclass
 class PathTableEntry:
     """Everything cached for one destination host."""
@@ -154,8 +165,11 @@ class PathTableEntry:
     dst: str
     primaries: List[CachedPath] = field(default_factory=list)
     backup: Optional[CachedPath] = None
-    #: Sticky flow binding: flow key -> index into ``primaries``.
+    #: Sticky flow binding: flow key -> index into ``primaries``
+    #: (or :data:`BINDING_DEAD` when the bound path was invalidated).
     flow_bindings: Dict[object, int] = field(default_factory=dict)
+    #: Flow keys already counted as failed over to the backup path.
+    backup_flows: Set[object] = field(default_factory=set)
 
     def alive_primaries(self) -> List[CachedPath]:
         return list(self.primaries)
@@ -216,14 +230,19 @@ class PathTable:
             if flow_key is None:
                 return self.rng.choice(entry.primaries)
             index = entry.flow_bindings.get(flow_key)
-            if index is None or index >= len(entry.primaries):
-                if index is not None:
+            if index is None or not 0 <= index < len(entry.primaries):
+                if index == BINDING_DEAD:
+                    # The flow's bound path died: this rebind is the
+                    # failover event (one per flow, not per packet).
                     self.failovers += 1
                 index = self.rng.randrange(len(entry.primaries))
                 entry.flow_bindings[flow_key] = index
             return entry.primaries[index]
-        # All primaries dead: the backup keeps the flow alive.
-        self.failovers += 1
+        # All primaries dead: the backup keeps the flow alive.  Count
+        # the transition once per flow; later packets are not failovers.
+        if flow_key not in entry.backup_flows:
+            entry.backup_flows.add(flow_key)
+            self.failovers += 1
         return entry.backup
 
     def pin(self, dst: str, flow_key: object, index: int) -> None:
@@ -244,16 +263,28 @@ class PathTable:
         """
         dropped = 0
         for entry in self._entries.values():
-            before = len(entry.primaries)
-            entry.primaries = [
-                p for p in entry.primaries if not p.uses(switch, port)
-            ]
-            removed = before - len(entry.primaries)
+            survivors = []
+            new_index_of: Dict[int, int] = {}
+            for old_index, path in enumerate(entry.primaries):
+                if path.uses(switch, port):
+                    continue
+                new_index_of[old_index] = len(survivors)
+                survivors.append(path)
+            removed = len(entry.primaries) - len(survivors)
             if removed:
-                entry.flow_bindings.clear()
+                entry.primaries = survivors
+                # Surviving bindings follow their path to its new index
+                # (Section 5.2: flows stick to their bound path while it
+                # is alive); only flows whose path died are tombstoned
+                # for a counted failover rebind on their next packet.
+                entry.flow_bindings = {
+                    flow: new_index_of.get(index, BINDING_DEAD)
+                    for flow, index in entry.flow_bindings.items()
+                }
             dropped += removed
             if entry.backup is not None and entry.backup.uses(switch, port):
                 entry.backup = None
+                entry.backup_flows.clear()
                 dropped += 1
         self.invalidations += dropped
         return dropped

@@ -101,4 +101,8 @@ class ReplicatedControlPlane:
         self.primary = new_primary
         # Tell every host where the controller now lives.
         new_primary.announce_all()
+        # The adopted replica view may miss links whose reprobe
+        # sessions died with the old primary; verify every unknown
+        # port now rather than waiting for news that will never come.
+        new_primary.reprobe_unknown_ports()
         return new_primary

@@ -19,7 +19,7 @@ explicitly allows) and statistics counters used by the experiments.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ..netsim.device import Device
 from ..netsim.events import EventLoop
@@ -32,13 +32,27 @@ from .packet import (
     Packet,
 )
 
-__all__ = ["DumbSwitch", "NOTIFY_HOP_LIMIT", "ALARM_SUPPRESS_SECONDS"]
+__all__ = [
+    "DumbSwitch",
+    "NOTIFY_HOP_LIMIT",
+    "ALARM_SUPPRESS_SECONDS",
+    "RELAY_SEEN_SECONDS",
+]
 
 #: "a max of 5 hops is often enough" (Section 4.2).
 NOTIFY_HOP_LIMIT = 5
 
 #: "The switches suppress alarms for 1 second" (Section 4.2).
 ALARM_SUPPRESS_SECONDS = 1.0
+
+#: How long a relayed (origin, seq) alarm stays in the seen-cache.  An
+#: alarm survives at most hop_limit * (forward + wire) delays, far under
+#: a second; a flap re-alarm always carries a fresh seq, so expiry only
+#: needs to bound memory, not correctness.
+RELAY_SEEN_SECONDS = 10.0
+
+#: Seen-cache entries pruned once the table grows past this.
+RELAY_SEEN_MAX_ENTRIES = 4096
 
 #: Per-frame forwarding delay.  The FPGA prototype forwards a hop in
 #: ~33 microseconds (100.6 us / 3 hops, Section 7.2.2); merchant silicon
@@ -75,6 +89,11 @@ class DumbSwitch(Device):
         self._last_alarm_state: Dict[int, bool] = {}
         self._pending_alarm: Dict[int, bool] = {}
         self._notify_seq = 0
+        #: Soft-state relay dedup: (origin switch, seq) -> expiry time.
+        #: Without it any cyclic topology re-floods one alarm
+        #: multiplicatively per hop up to the TTL (the paper explicitly
+        #: allows soft state for alarm suppression).
+        self._relay_seen: Dict[Tuple[str, int], float] = {}
         # Statistics (observability, not dataplane state).
         self.forwarded = 0
         self.dropped_bad_tag = 0
@@ -82,6 +101,7 @@ class DumbSwitch(Device):
         self.id_queries_answered = 0
         self.notifications_originated = 0
         self.notifications_relayed = 0
+        self.notifications_suppressed = 0
 
     # ------------------------------------------------------------------
     # dataplane
@@ -122,6 +142,24 @@ class DumbSwitch(Device):
             self.dropped_dead_port += 1
             return
         self.forwarded += 1
+
+    # ------------------------------------------------------------------
+    # power (failure injection)
+
+    def power_on(self) -> None:
+        """A restarted switch boots with empty soft state.
+
+        Alarm rate-limiter timestamps and the relay seen-cache from the
+        previous life would otherwise suppress genuinely-new alarms.
+        ``_notify_seq`` deliberately survives: host-side dedup keys on
+        (switch, port, seq), so the counter must stay monotonic across
+        reboots or post-restart alarms would collide with old ones.
+        """
+        self._last_alarm.clear()
+        self._last_alarm_state.clear()
+        self._pending_alarm.clear()
+        self._relay_seen.clear()
+        super().power_on()
 
     # ------------------------------------------------------------------
     # failure notification (stage 1, switch side)
@@ -174,6 +212,9 @@ class DumbSwitch(Device):
             ttl=self.hop_limit,
         )
         self.notifications_originated += 1
+        # Our own alarm is "seen": a copy bouncing back around a cycle
+        # must not be re-relayed by its originator.
+        self._mark_relay_seen((self.name, self._notify_seq))
         if self.tracer is not None:
             self.tracer.record(now, "notify-origin", self.name, note)
         self._flood(packet, skip_port=None)
@@ -181,10 +222,34 @@ class DumbSwitch(Device):
     def _relay_notification(self, in_port: int, packet: Packet) -> None:
         if packet.ttl <= 1:
             return
+        note = packet.payload
+        if isinstance(note, PortStateNotification):
+            key = (note.switch, note.seq)
+            if self._relay_key_seen(key):
+                self.notifications_suppressed += 1
+                return
+            self._mark_relay_seen(key)
         relay = packet.fork()
         relay.ttl = packet.ttl - 1
         self.notifications_relayed += 1
         self._flood(relay, skip_port=in_port)
+
+    def _relay_key_seen(self, key: Tuple[str, int]) -> bool:
+        expiry = self._relay_seen.get(key)
+        if expiry is None:
+            return False
+        if expiry < self.loop.now:
+            del self._relay_seen[key]
+            return False
+        return True
+
+    def _mark_relay_seen(self, key: Tuple[str, int]) -> None:
+        now = self.loop.now
+        if len(self._relay_seen) >= RELAY_SEEN_MAX_ENTRIES:
+            self._relay_seen = {
+                k: t for k, t in self._relay_seen.items() if t >= now
+            }
+        self._relay_seen[key] = now + RELAY_SEEN_SECONDS
 
     def _flood(self, packet: Packet, skip_port: Optional[int]) -> None:
         for port in range(1, self.num_ports + 1):

@@ -1,0 +1,52 @@
+"""Deterministic, seeded fault injection for emulated DumbNet fabrics.
+
+The paper's headline failure-handling claims (Section 4.2, Figure 11)
+are only worth reproducing if the failure path is *provably* correct,
+so this package turns ad-hoc "cut a link and see" testing into a
+first-class subsystem:
+
+* :class:`FaultSchedule` -- a small DSL for scripted fault timelines
+  (link flaps, loss/delay/duplication bursts, switch crash+restart,
+  host partition, controller failover) plus a seeded randomized
+  generator that produces the same timeline byte-for-byte for the
+  same seed.
+* :class:`ChaosRunner` -- executes a schedule against a live fabric
+  while continuously checking invariants (loop-free cached paths,
+  cache/dead-port coherence) and, at quiesce, that every cached path
+  avoids dead links and every physically-connected host pair can still
+  exchange traffic.
+* :func:`build_chaos_fabric` -- a fabric with standby controllers so
+  schedules can exercise controller failover via
+  :class:`~repro.core.replication.ReplicatedControlPlane`.
+* ``python -m repro.faultinject.smoke`` -- a seeded chaos smoke run
+  (used by CI) that also asserts run-to-run determinism.
+"""
+
+from .invariants import (
+    Violation,
+    check_cache_coherence,
+    check_loop_free,
+    check_structural,
+    continuous_invariants,
+    down_ports,
+    residual_topology,
+)
+from .runner import ChaosFabric, ChaosReport, ChaosRunner, build_chaos_fabric
+from .schedule import FaultEvent, FaultSchedule, ScheduleError
+
+__all__ = [
+    "FaultEvent",
+    "FaultSchedule",
+    "ScheduleError",
+    "ChaosFabric",
+    "ChaosReport",
+    "ChaosRunner",
+    "build_chaos_fabric",
+    "Violation",
+    "check_loop_free",
+    "check_cache_coherence",
+    "check_structural",
+    "continuous_invariants",
+    "down_ports",
+    "residual_topology",
+]

@@ -1,0 +1,84 @@
+"""Seeded chaos smoke run -- the CI gate for failure handling.
+
+``python -m repro.faultinject.smoke`` builds a fat-tree(4) fabric with
+three controller-capable hosts, generates a >=20-fault randomized
+timeline (link flaps, loss/delay/duplication bursts, one switch
+crash+restart, one controller failover), runs it **twice** against
+fresh fabrics, and fails unless:
+
+* both runs finish with zero invariant violations,
+* every physically-connected host pair exchanges traffic at quiesce,
+* both runs produce the identical applied-timeline digest
+  (byte-for-byte determinism).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..topology.fattree import fat_tree
+from .runner import ChaosReport, build_chaos_fabric, ChaosRunner
+from .schedule import FaultSchedule
+
+__all__ = ["run_once", "main"]
+
+DEFAULT_SEED = 42
+DEFAULT_FAULTS = 22
+
+
+def run_once(seed: int, n_faults: int, k: int = 4) -> ChaosReport:
+    """One full chaos run on a fresh fat-tree(k) fabric."""
+    topology = fat_tree(k)
+    controller_hosts = tuple(sorted(topology.hosts)[:3])
+    schedule = FaultSchedule.random(
+        topology,
+        seed=seed,
+        n_faults=n_faults,
+        protect_hosts=controller_hosts,
+    )
+    fabric = build_chaos_fabric(
+        topology, seed=seed, controller_hosts=controller_hosts
+    )
+    runner = ChaosRunner(fabric, schedule, traffic_seed=seed)
+    return runner.run()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--faults", type=int, default=DEFAULT_FAULTS)
+    parser.add_argument("--k", type=int, default=4, help="fat-tree arity")
+    parser.add_argument(
+        "--once", action="store_true",
+        help="single run, skip the determinism replay",
+    )
+    opts = parser.parse_args(argv)
+
+    print(f"chaos smoke: fat-tree(k={opts.k}), seed={opts.seed}, "
+          f"{opts.faults} scheduled faults")
+    first = run_once(opts.seed, opts.faults, opts.k)
+    print(first.summary())
+    failed = not first.ok()
+
+    if not opts.once:
+        replay = run_once(opts.seed, opts.faults, opts.k)
+        if replay.timeline_digest() != first.timeline_digest():
+            print("DETERMINISM FAILURE: replay produced a different "
+                  "timeline digest")
+            print(f"  first:  {first.timeline_digest()}")
+            print(f"  replay: {replay.timeline_digest()}")
+            failed = True
+        else:
+            print(f"replay digest matches: determinism OK")
+        if not replay.ok():
+            print("replay run found violations:")
+            print(replay.summary())
+            failed = True
+
+    print("chaos smoke FAILED" if failed else "chaos smoke PASSED")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -76,10 +76,16 @@ class Channel:
         self.rng = rng
         self.detection_delay_s = detection_delay_s
         self.loss_rate = loss_rate
+        # Fault-injection hooks (mutable at runtime, e.g. by a
+        # ChaosRunner): probabilistic frame duplication and a flat
+        # extra propagation delay.  Both need ``rng`` to act.
+        self.duplicate_rate = 0.0
+        self.extra_latency_s = 0.0
         self.up = True
         self.ends = (ChannelEnd(self, 0), ChannelEnd(self, 1))
         self.frames_delivered = 0
         self.frames_dropped = 0
+        self.frames_duplicated = 0
 
     # ------------------------------------------------------------------
 
@@ -105,11 +111,20 @@ class Channel:
         if self.bandwidth_bps:
             tx_time = size_bits / self.bandwidth_bps
         sender.busy_until = start + tx_time
-        latency = self.latency_s
+        latency = self.latency_s + self.extra_latency_s
         if self.jitter_s and self.rng is not None:
             latency += self.rng.uniform(0.0, self.jitter_s)
         arrival = sender.busy_until + latency
         self.loop.schedule_at(arrival, self._deliver, receiver, packet)
+        if self.duplicate_rate > 0 and self.rng is not None:
+            if self.rng.random() < self.duplicate_rate:
+                # A duplicated frame arrives one serialization slot
+                # behind the original (as if retransmitted on the PHY).
+                self.frames_duplicated += 1
+                dup = packet.fork() if hasattr(packet, "fork") else packet
+                self.loop.schedule_at(
+                    arrival + max(tx_time, 1e-9), self._deliver, receiver, dup
+                )
         return True
 
     def _deliver(self, receiver: ChannelEnd, packet: Any) -> None:

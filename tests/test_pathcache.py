@@ -173,3 +173,103 @@ class TestPathTable:
         table.install("dst", [cached(["A"], [1])])
         table.forget("dst")
         assert table.lookup("dst") is None
+
+
+class TestHostMigration:
+    def test_moved_host_updates_attachment(self):
+        """A VM migration re-attaches the host elsewhere; keeping the
+        stale attachment would poison every path encoded toward it."""
+        topo = figure1()
+        cache = TopoCache("H4")
+        cache.merge_reply(make_reply(topo, "H4", "H5"))
+        assert cache.attachment("H5") == ("S5", 5)
+        cache.record_attachment("H5", "S1", 7)
+        assert cache.attachment("H5") == ("S1", 7)
+
+    def test_unchanged_attachment_is_stable(self):
+        topo = figure1()
+        cache = TopoCache("H4")
+        cache.merge_reply(make_reply(topo, "H4", "H5"))
+        cache.record_attachment("H5", "S5", 5)
+        assert cache.attachment("H5") == ("S5", 5)
+
+    def test_migration_to_occupied_port_drops_stale_attachment(self):
+        """Moving onto a port the fragment knows is a switch-switch
+        link cannot be recorded, but the stale location must still go:
+        half-knowledge is worse than a controller round trip."""
+        topo = figure1()
+        cache = TopoCache("H4")
+        cache.merge_reply(make_reply(topo, "H4", "H5"))
+        cache.record_attachment("H5", "S4", 3)  # S4-3 <-> S5-1 in use
+        assert cache.attachment("H5") is None
+
+
+class TestBindingRemap:
+    def three_paths(self):
+        table = PathTable(rng=random.Random(0))
+        a = cached(["S1", "S2"], [1, 5])
+        b = cached(["S1", "S3"], [2, 5])
+        c = cached(["S1", "S4"], [3, 5])
+        table.install("dst", [a, b, c])
+        return table, a, b, c
+
+    def test_surviving_bindings_keep_their_paths(self):
+        table, a, b, c = self.three_paths()
+        table.pin("dst", "fa", 0)
+        table.pin("dst", "fb", 1)
+        table.pin("dst", "fc", 2)
+        table.invalidate_port("S1", 2)  # kills b only
+        # Flows bound to survivors stay exactly where they were even
+        # though the survivors' indices shifted.
+        for _ in range(10):
+            assert table.lookup("dst", flow_key="fa") == a
+            assert table.lookup("dst", flow_key="fc") == c
+        assert table.lookup("dst", flow_key="fb") in (a, c)
+
+    def test_failover_counted_only_for_dead_flows(self):
+        table, a, b, c = self.three_paths()
+        table.pin("dst", "fa", 0)
+        table.pin("dst", "fb", 1)
+        table.invalidate_port("S1", 2)  # kills b only
+        table.lookup("dst", flow_key="fa")
+        assert table.failovers == 0  # fa's path survived
+        table.lookup("dst", flow_key="fb")
+        assert table.failovers == 1
+
+    def test_failover_counted_per_flow_not_per_packet(self):
+        table, a, b, c = self.three_paths()
+        table.pin("dst", "fb", 1)
+        table.invalidate_port("S1", 2)
+        for _ in range(20):
+            table.lookup("dst", flow_key="fb")
+        assert table.failovers == 1  # rebind once, not per lookup
+
+    def test_rebound_flow_is_sticky(self):
+        table, a, b, c = self.three_paths()
+        table.pin("dst", "fb", 1)
+        table.invalidate_port("S1", 2)
+        rebound = table.lookup("dst", flow_key="fb")
+        for _ in range(20):
+            assert table.lookup("dst", flow_key="fb") == rebound
+
+    def test_backup_transition_counted_once_per_flow(self):
+        table = PathTable(rng=random.Random(0))
+        primary = cached(["S1", "S2"], [1, 5])
+        backup = cached(["S1", "S3", "S2"], [2, 3, 5])
+        table.install("dst", [primary], backup=backup)
+        table.invalidate_port("S1", 1)
+        for _ in range(20):
+            assert table.lookup("dst", flow_key="f") == backup
+        assert table.failovers == 1
+        table.lookup("dst", flow_key="g")
+        assert table.failovers == 2  # a second flow fails over once
+
+    def test_backup_death_clears_backup_accounting(self):
+        table = PathTable(rng=random.Random(0))
+        backup = cached(["S1", "S3", "S2"], [2, 3, 5])
+        table.install("dst", [], backup=backup)
+        assert table.lookup("dst", flow_key="f") == backup
+        table.invalidate_port("S3", 3)
+        assert table.lookup("dst", flow_key="f") is None
+        entry = table.entry("dst")
+        assert entry.backup is None and not entry.backup_flows

@@ -198,3 +198,145 @@ class TestStatelessness:
         loop.run()
         first, second = (p for _pt, p in sinks[1].packets)
         assert first.tags.remaining == second.tags.remaining == (5,)
+
+
+class TestFlapAlarmEdgeCases:
+    def test_flap_ending_in_new_state_emits_deferred_alarm(self):
+        """down -> up inside the suppression window: the up alarm is
+        deferred to the window's close, never silently dropped."""
+        loop, switch, sinks = rig(fanout=1)
+        loop.schedule(0.0, switch.port_state_changed, 3, False)
+        loop.schedule(0.2, switch.port_state_changed, 3, True)
+        loop.run()
+        notes = [
+            p.payload for _pt, p in sinks[1].packets
+            if p.ethertype == ETHERTYPE_NOTIFY
+        ]
+        assert [n.up for n in notes] == [False, True]
+
+    def test_flap_settling_back_is_fully_suppressed(self):
+        """down -> up -> down inside the window ends in the state
+        already announced: no second alarm at the window close."""
+        loop, switch, sinks = rig(fanout=1)
+        loop.schedule(0.0, switch.port_state_changed, 3, False)
+        loop.schedule(0.2, switch.port_state_changed, 3, True)
+        loop.schedule(0.4, switch.port_state_changed, 3, False)
+        loop.run()
+        notes = [
+            p.payload for _pt, p in sinks[1].packets
+            if p.ethertype == ETHERTYPE_NOTIFY
+        ]
+        assert [n.up for n in notes] == [False]
+
+    def test_notify_seq_stays_monotonic_across_restart(self):
+        """Host-side dedup keys on (switch, port, seq): a rebooted
+        switch reusing old seqs would have its fresh alarms ignored."""
+        loop, switch, sinks = rig(fanout=1)
+        switch.port_state_changed(3, False)
+        loop.run()
+        switch.power_off()
+        switch.power_on()
+        loop.run()
+        switch.port_state_changed(3, False)
+        loop.run()
+        seqs = [
+            p.payload.seq for _pt, p in sinks[1].packets
+            if p.ethertype == ETHERTYPE_NOTIFY and p.payload.switch == "S"
+        ]
+        assert len(seqs) >= 2
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+
+class TestRelayDedup:
+    def incoming(self, seq, ttl=3):
+        return Packet(
+            src="other",
+            ethertype=ETHERTYPE_NOTIFY,
+            payload=PortStateNotification("other", 1, False, seq),
+            ttl=ttl,
+        )
+
+    def test_duplicate_relay_suppressed(self):
+        loop, switch, sinks = rig(fanout=2)
+        for _ in range(3):
+            switch.receive(1, self.incoming(seq=7))
+        loop.run()
+        relayed = [
+            p for _pt, p in sinks[2].packets if p.ethertype == ETHERTYPE_NOTIFY
+        ]
+        assert len(relayed) == 1
+        assert switch.notifications_suppressed == 2
+
+    def test_distinct_seqs_still_relay(self):
+        loop, switch, sinks = rig(fanout=2)
+        switch.receive(1, self.incoming(seq=7))
+        switch.receive(1, self.incoming(seq=8))
+        loop.run()
+        relayed = [
+            p for _pt, p in sinks[2].packets if p.ethertype == ETHERTYPE_NOTIFY
+        ]
+        assert len(relayed) == 2
+        assert switch.notifications_suppressed == 0
+
+    def test_own_alarm_bouncing_back_not_rerelayed(self):
+        loop, switch, sinks = rig(fanout=2)
+        switch.port_state_changed(4, False)
+        loop.run()
+        note = [
+            p for _pt, p in sinks[1].packets if p.ethertype == ETHERTYPE_NOTIFY
+        ][0]
+        echoed = note.fork()
+        echoed.ttl = 3
+        before = len(sinks[2].packets)
+        switch.receive(1, echoed)
+        loop.run()
+        assert len(sinks[2].packets) == before
+        assert switch.notifications_suppressed == 1
+
+    def test_restart_forgets_relay_seen_cache(self):
+        loop, switch, sinks = rig(fanout=2)
+        switch.receive(1, self.incoming(seq=7))
+        loop.run()
+        switch.power_off()
+        switch.power_on()
+        loop.run()
+        switch.receive(1, self.incoming(seq=7))
+        loop.run()
+        relayed = [
+            p for _pt, p in sinks[2].packets
+            if p.ethertype == ETHERTYPE_NOTIFY and p.payload.switch == "other"
+        ]
+        assert len(relayed) == 2  # relayed again after reboot
+
+    def test_fat_tree_flood_is_linear_not_multiplicative(self):
+        """In a cyclic fabric an undeduplicated relay re-floods each
+        alarm multiplicatively until the TTL dies; with the seen-cache
+        every switch relays each (origin, seq) at most once."""
+        from repro.netsim import Network
+        from repro.topology import fat_tree
+
+        topo = fat_tree(4)
+
+        def make_switch(name, ports, network):
+            return DumbSwitch(name, ports, network.loop, tracer=Tracer())
+
+        def make_host(name, network):
+            return Sink(name, network.loop)
+
+        net = Network(topo, make_switch, make_host)
+        link = next(iter(topo.links))
+        net.fail_link(link.a.switch, link.a.port, link.b.switch, link.b.port)
+        net.run_until_idle()
+        relayed = sum(s.notifications_relayed for s in net.switches.values())
+        originated = sum(
+            s.notifications_originated for s in net.switches.values()
+        )
+        suppressed = sum(
+            s.notifications_suppressed for s in net.switches.values()
+        )
+        assert originated == 2  # one alarm per endpoint of the cut link
+        # Linear flood: each of the 20 switches relays each alarm at
+        # most once.  The multiplicative re-flood this guards against
+        # produces thousands of relays before TTL exhaustion.
+        assert relayed <= len(net.switches) * originated
+        assert suppressed > 0  # the cycles actually exercised the cache
