@@ -88,7 +88,7 @@ def run_dumbnet():
     stream.stop()
     arrivals = [t - base for t, _b in stream.arrivals]
     bins = stream.throughput_bins(BIN_S, until=RUN_FOR_S, start=base)
-    return recovery_delay(arrivals, FAIL_AT_S), bins
+    return recovery_delay(arrivals, FAIL_AT_S), bins, fabric.loop.events_run
 
 
 class _L2Cbr:
@@ -154,12 +154,14 @@ def run_stp():
         got = sum(1 for a in arrivals if t <= a < hi) * PACKET_BYTES * 8
         bins.append((t, got / BIN_S))
         t = hi
-    return recovery_delay(arrivals, FAIL_AT_S), bins
+    return recovery_delay(arrivals, FAIL_AT_S), bins, net.loop.events_run
 
 
 def test_fig11b_failover_vs_stp(benchmark):
-    (dumb_delay, dumb_bins), (stp_delay, stp_bins) = benchmark.pedantic(
-        lambda: (run_dumbnet(), run_stp()), rounds=1, iterations=1
+    (dumb_delay, dumb_bins, dumb_events), (stp_delay, stp_bins, stp_events) = (
+        benchmark.pedantic(
+            lambda: (run_dumbnet(), run_stp()), rounds=1, iterations=1
+        )
     )
     ratio = stp_delay / dumb_delay
     text = (
@@ -167,7 +169,9 @@ def test_fig11b_failover_vs_stp(benchmark):
         f"{RATE_BPS / 1e9:.1f} Gbps CBR stream\n\n"
         f"DumbNet recovery gap : {dumb_delay * 1e3:8.2f} ms\n"
         f"STP recovery gap     : {stp_delay * 1e3:8.2f} ms\n"
-        f"speedup              : {ratio:8.1f}x   (paper: ~4.7x)\n\n"
+        f"speedup              : {ratio:8.1f}x   (paper: ~4.7x)\n"
+        f"simulator events     : {dumb_events} (DumbNet) / "
+        f"{stp_events} (STP)\n\n"
     )
     text += render_series(
         "DumbNet throughput",

@@ -82,8 +82,12 @@ def test_fig8a_discovery_scale(benchmark):
     rows = benchmark.pedantic(collect_series, rounds=1, iterations=1)
 
     # The emulated testbed point, packet by packet.
+    import time as _time
+
     fabric = DumbNetFabric(paper_testbed(), controller_host="h0_0", seed=1)
+    wall_start = _time.perf_counter()
     result = fabric.bootstrap()
+    wall = _time.perf_counter() - wall_start
     testbed_time = result.stats.elapsed_s
 
     table_rows = [
@@ -118,6 +122,13 @@ def test_fig8a_discovery_scale(benchmark):
         ["Series", "Projected time at 500 switches (s)"],
         projections,
         title="Projection (paper reports <= ~70 s)",
+    )
+    # Emulator throughput for the packet-by-packet point (the scale
+    # sweep uses the oracle transport, which runs no events); full
+    # hot-path numbers live in BENCH_netsim.json.
+    text += (
+        f"\n\nEmulated testbed point: {fabric.loop.events_run} events "
+        f"in {wall:.2f}s wall ({fabric.loop.events_run / wall:,.0f} events/s)"
     )
     publish("fig8a_discovery_scale", text)
 

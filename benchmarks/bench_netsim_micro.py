@@ -1,0 +1,251 @@
+"""netsim hot-path micro-benchmarks.
+
+Standalone (not a pytest bench -- CI runs it directly):
+
+    PYTHONPATH=src python benchmarks/bench_netsim_micro.py [--smoke]
+
+Measures the layers the emulator spends its time in, bottom up:
+
+* raw event-loop throughput (a self-rescheduling timer mesh),
+* cancel-heavy throughput (the protocol-timer arm/disarm pattern) plus
+  the lazy-deletion heap bound,
+* channel frames/sec (transmit fast path + delivery + device service),
+* Figure 8(a) end-to-end discovery wall-clock at 50/125/250/500
+  switches (full mode; --smoke stops at 50),
+* one seeded chaos-smoke run's wall-clock and event throughput.
+
+Results land in ``BENCH_netsim.json`` at the repo root, alongside the
+pre-optimization baseline captured on the same machine so the speedup
+column is self-contained.  The golden-trace regression test
+(tests/test_netsim.py) separately pins that the optimizations did not
+change event interleavings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.core.fabric import DumbNetFabric
+from repro.core.packet import Packet
+from repro.faultinject.smoke import run_once
+from repro.netsim import Channel, Device, EventLoop
+from repro.topology import cube
+
+from _util import REPO_ROOT, publish_json
+
+#: Pre-optimization numbers, measured at the seed commit of this branch
+#: on the same machine/interpreter that CI uses for the smoke run.
+#: Wall-clocks are Figure 8(a) bootstrap (cube, 64-port switches,
+#: hosts_per_switch=1, seed=1); the loop executed an identical event
+#: count before and after (interleavings are pinned by test).
+BASELINE = {
+    "commit": "640180d",
+    "fig8a_wall_s": {"50": 6.152, "125": 17.808, "250": 42.874, "500": 104.496},
+    "fig8a_events": {
+        "50": 1783315, "125": 5135372, "250": 12861372, "500": 30903872,
+    },
+    "events_per_sec": 290000,
+}
+
+FIG8A_DIMS = {50: (5, 5, 2), 125: (5, 5, 5), 250: (5, 5, 10), 500: (10, 10, 5)}
+
+
+# ----------------------------------------------------------------------
+# event loop
+
+
+def bench_eventloop(n_events: int, width: int = 1024) -> dict:
+    """Self-rescheduling timers at a steady heap depth of ``width``."""
+    loop = EventLoop()
+    fired = 0
+    stop_at = n_events - width
+
+    def tick() -> None:
+        nonlocal fired
+        fired += 1
+        if fired <= stop_at:
+            loop.call_after(1e-6, tick)
+
+    for i in range(width):
+        loop.call_after(i * 1e-9, tick)
+    t0 = time.perf_counter()
+    loop.run()
+    wall = time.perf_counter() - t0
+    assert loop.pending == 0
+    return {
+        "events": loop.events_run,
+        "wall_s": round(wall, 3),
+        "events_per_sec": int(loop.events_run / wall),
+    }
+
+
+def bench_cancel_churn(n_cycles: int) -> dict:
+    """Arm-then-disarm timers (the retry/timeout pattern) and report the
+    heap bound lazy deletion maintains."""
+    loop = EventLoop()
+    cycles = 0
+    peak_heap = 0
+
+    def noop() -> None:  # pragma: no cover - cancelled before firing
+        raise AssertionError("cancelled timer fired")
+
+    def tick() -> None:
+        nonlocal cycles, peak_heap
+        cycles += 1
+        handle = loop.schedule(1000.0, noop)  # far-future timeout...
+        handle.cancel()                       # ...disarmed immediately
+        if len(loop._heap) > peak_heap:
+            peak_heap = len(loop._heap)
+        if cycles < n_cycles:
+            loop.call_after(1e-6, tick)
+
+    loop.call_after(0.0, tick)
+    t0 = time.perf_counter()
+    loop.run()
+    wall = time.perf_counter() - t0
+    return {
+        "cycles": n_cycles,
+        "wall_s": round(wall, 3),
+        "cycles_per_sec": int(n_cycles / wall),
+        "peak_heap": peak_heap,
+        "final_dead_entries": loop.dead_entries,
+    }
+
+
+# ----------------------------------------------------------------------
+# channel
+
+
+class _Sink(Device):
+    def handle_packet(self, port: int, packet) -> None:
+        pass
+
+
+def bench_channel(n_frames: int) -> dict:
+    """Blast frames one way over a 10 Gbps channel: transmit fast path,
+    delivery event, and device service per frame."""
+    loop = EventLoop()
+    channel = Channel(loop, bandwidth_bps=10e9, latency_s=1e-6)
+    sender = _Sink("tx", loop)
+    receiver = _Sink("rx", loop)
+    sender.attach(1, channel.ends[0])
+    receiver.attach(1, channel.ends[1])
+    frame = Packet(src="tx", payload_bytes=1450)
+    t0 = time.perf_counter()
+    for _ in range(n_frames):
+        sender.send(1, frame)
+    loop.run()
+    wall = time.perf_counter() - t0
+    assert receiver.packets_received == n_frames
+    return {
+        "frames": n_frames,
+        "wall_s": round(wall, 3),
+        "frames_per_sec": int(n_frames / wall),
+        "events_per_sec": int(loop.events_run / wall),
+    }
+
+
+# ----------------------------------------------------------------------
+# end-to-end
+
+
+def bench_fig8a_point(n_switches: int) -> dict:
+    dims = FIG8A_DIMS[n_switches]
+    topo = cube(list(dims), hosts_per_switch=1, num_ports=64)
+    assert len(topo.switches) == n_switches
+    fabric = DumbNetFabric(topo, controller_host=topo.hosts[0], seed=1)
+    t0 = time.perf_counter()
+    result = fabric.bootstrap()
+    wall = time.perf_counter() - t0
+    events = fabric.loop.events_run
+    baseline_wall = BASELINE["fig8a_wall_s"][str(n_switches)]
+    assert events == BASELINE["fig8a_events"][str(n_switches)], (
+        "event count drifted from baseline -- interleavings changed?"
+    )
+    return {
+        "switches": n_switches,
+        "dims": list(dims),
+        "wall_s": round(wall, 3),
+        "events": events,
+        "events_per_sec": int(events / wall),
+        "modeled_s": round(result.stats.elapsed_s, 3),
+        "probes": result.stats.probes_sent,
+        "baseline_wall_s": baseline_wall,
+        "speedup": round(baseline_wall / wall, 3),
+    }
+
+
+def bench_chaos_smoke(seed: int = 42, n_faults: int = 22) -> dict:
+    t0 = time.perf_counter()
+    report = run_once(seed, n_faults, k=4)
+    wall = time.perf_counter() - t0
+    return {
+        "seed": seed,
+        "faults": n_faults,
+        "wall_s": round(wall, 3),
+        "events_run": report.events_run,
+        "events_per_sec": int(report.events_run / wall),
+        "ok": report.ok(),
+        "timeline_digest": report.timeline_digest(),
+    }
+
+
+# ----------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI mode: smaller micro sizes, Figure 8(a) at 50 switches only",
+    )
+    opts = parser.parse_args(argv)
+
+    scale = 10 if opts.smoke else 1
+    sizes = (50,) if opts.smoke else (50, 125, 250, 500)
+
+    payload = {
+        "schema": "bench-netsim/1",
+        "mode": "smoke" if opts.smoke else "full",
+        "baseline": BASELINE,
+        "eventloop": bench_eventloop(1_000_000 // scale),
+        "cancel_churn": bench_cancel_churn(200_000 // scale),
+        "channel": bench_channel(500_000 // scale),
+        "fig8a": [],
+    }
+    for n_switches in sizes:
+        point = bench_fig8a_point(n_switches)
+        print(f"[fig8a] {point}")
+        payload["fig8a"].append(point)
+    payload["chaos_smoke"] = bench_chaos_smoke()
+
+    for key in ("eventloop", "cancel_churn", "channel", "chaos_smoke"):
+        print(f"[{key}] {payload[key]}")
+    publish_json(
+        "bench_netsim", payload,
+        path=os.path.join(REPO_ROOT, "BENCH_netsim.json"),
+    )
+
+    # The cancel-heavy heap must stay O(live): the chain keeps ~1 live
+    # timer plus up to COMPACT_MIN_DEAD*2-ish dead ones between sweeps.
+    if payload["cancel_churn"]["peak_heap"] > 4096:
+        print("FAIL: cancelled entries accumulated in the heap")
+        return 1
+    smallest = payload["fig8a"][0]
+    if smallest["speedup"] < 1.0:
+        print(f"FAIL: fig8a {smallest['switches']}-switch point regressed "
+              f"below the recorded baseline ({smallest['speedup']}x)")
+        return 1
+    if not payload["chaos_smoke"]["ok"]:
+        print("FAIL: chaos smoke found violations")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

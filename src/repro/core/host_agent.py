@@ -293,12 +293,14 @@ class HostAgent(Device):
             if isinstance(packet.payload, PortStateNotification):
                 self._on_news(packet.payload)
             return
-        if packet.ethertype != ETHERTYPE_DUMBNET or packet.tags is None:
+        tags = packet.tags
+        if packet.ethertype != ETHERTYPE_DUMBNET or tags is None:
             self.dropped_invalid += 1
             return
-        if not packet.tags.at_end:
+        if tags._cursor < len(tags._tags):
             # Section 5.1: anything that still carries hop tags at a host
-            # is malformed; the agent drops it.
+            # is malformed; the agent drops it.  (Inlined tags.at_end --
+            # this check runs once per delivered frame.)
             self.dropped_invalid += 1
             return
         self._dispatch(packet)

@@ -82,10 +82,11 @@ class PathTags:
     __slots__ = ("_tags", "_cursor")
 
     def __init__(self, ports: Sequence[int]) -> None:
-        for port in ports:
-            if not 0 <= port <= MAX_PORT_TAG:
-                raise PacketFormatError(f"tag {port} outside 0..{MAX_PORT_TAG}")
-        self._tags: Tuple[int, ...] = tuple(ports)
+        tags = tuple(ports)
+        if tags and not 0 <= min(tags) <= max(tags) <= MAX_PORT_TAG:
+            bad = next(p for p in tags if not 0 <= p <= MAX_PORT_TAG)
+            raise PacketFormatError(f"tag {bad} outside 0..{MAX_PORT_TAG}")
+        self._tags: Tuple[int, ...] = tags
         self._cursor = 0
 
     @classmethod
@@ -116,15 +117,32 @@ class PathTags:
         return self._cursor
 
     def peek(self) -> int:
-        if self.at_end:
+        cursor = self._cursor
+        if cursor >= len(self._tags):
             raise PacketFormatError("peek past ø")
-        return self._tags[self._cursor]
+        return self._tags[cursor]
 
     def pop(self) -> int:
         """Consume and return the next hop tag."""
-        tag = self.peek()
-        self._cursor += 1
-        return tag
+        cursor = self._cursor
+        tags = self._tags
+        if cursor >= len(tags):
+            raise PacketFormatError("peek past ø")
+        self._cursor = cursor + 1
+        return tags[cursor]
+
+    def pop_or_none(self) -> Optional[int]:
+        """:meth:`pop`, but ``None`` at ø instead of raising.
+
+        Fuses the ``at_end`` check and the pop into one call -- the
+        switch dataplane does this once per hop for every frame.
+        """
+        cursor = self._cursor
+        tags = self._tags
+        if cursor >= len(tags):
+            return None
+        self._cursor = cursor + 1
+        return tags[cursor]
 
     @property
     def wire_bytes(self) -> int:
@@ -152,7 +170,7 @@ class PathTags:
 _packet_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """An emulated frame.
 
@@ -172,13 +190,15 @@ class Packet:
     ecn_marked: bool = False
     #: Traffic class for :class:`~repro.core.qos.QosSwitch` (0 = control).
     priority: int = 1
-    uid: int = field(default_factory=lambda: next(_packet_ids))
+    uid: int = field(default_factory=_packet_ids.__next__)
 
     @property
     def size_bytes(self) -> int:
         size = ETHERNET_HEADER_BYTES + self.payload_bytes
-        if self.tags is not None:
-            size += self.tags.wire_bytes
+        tags = self.tags
+        if tags is not None:
+            # Inline tags.wire_bytes: this property is charged per frame.
+            size += len(tags._tags) - tags._cursor + 1
         if self.ethertype == ETHERTYPE_NOTIFY:
             size += 1  # the hop-limit byte
         return size

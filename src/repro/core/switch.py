@@ -26,6 +26,7 @@ from ..netsim.events import EventLoop
 from .messages import PortStateNotification, SwitchIDReply
 from .packet import (
     END_OF_PATH,
+    ETHERNET_HEADER_BYTES,
     ETHERTYPE_DUMBNET,
     ETHERTYPE_NOTIFY,
     ID_QUERY,
@@ -107,38 +108,47 @@ class DumbSwitch(Device):
     # dataplane
 
     def handle_packet(self, port: int, packet: Packet) -> None:
-        if packet.ethertype == ETHERTYPE_NOTIFY:
+        ethertype = packet.ethertype
+        if ethertype == ETHERTYPE_NOTIFY:
             self._relay_notification(port, packet)
             return
-        if packet.ethertype != ETHERTYPE_DUMBNET or packet.tags is None:
+        tags = packet.tags
+        if ethertype != ETHERTYPE_DUMBNET or tags is None:
             # Not ours: a dumb switch has no tables to flood or learn
             # with, so anything tagless is silently dropped.
             self.dropped_bad_tag += 1
             return
-        if packet.tags.at_end:
+        tag = tags.pop_or_none()
+        if tag is None:
             # ø reached a switch: the path was one hop short of a host.
             self.dropped_bad_tag += 1
             return
-        tag = packet.tags.pop()
         if tag == ID_QUERY:
             # Replace the payload with our identity and keep forwarding
             # along the remaining tags (Section 4.1).
             packet.payload = SwitchIDReply(switch_id=self.name, echo=packet.payload)
             packet.payload_bytes = max(packet.payload_bytes, 40)
             self.id_queries_answered += 1
-            if packet.tags.at_end:
-                self.dropped_bad_tag += 1
-                return
-            tag = packet.tags.pop()
-            if tag == ID_QUERY:
-                # Two ID queries in a row would self-overwrite; the
-                # hardware treats it as malformed.
+            tag = tags.pop_or_none()
+            if tag is None or tag == ID_QUERY:
+                # ø right after the query, or two ID queries in a row
+                # (which would self-overwrite): malformed.
                 self.dropped_bad_tag += 1
                 return
         if tag == END_OF_PATH or tag > self.num_ports:
             self.dropped_bad_tag += 1
             return
-        if not self.send(tag, packet):
+        # Frame size computed here (ethernet header + payload + remaining
+        # tags + ø) rather than via Packet.size_bytes: the forwarding hot
+        # path charges this once per hop.
+        size_bits = 8.0 * (
+            ETHERNET_HEADER_BYTES
+            + packet.payload_bytes
+            + len(tags._tags)
+            - tags._cursor
+            + 1
+        )
+        if not self.send(tag, packet, size_bits):
             self.dropped_dead_port += 1
             return
         self.forwarded += 1

@@ -161,6 +161,10 @@ class ChaosReport:
     failed_pairs: List[Tuple[str, str]] = field(default_factory=list)
     horizon: float = 0.0
     quiesce_time: float = 0.0
+    #: Simulator events executed by this run (fault application, traffic,
+    #: invariant ticks, quiesce pings) -- the denominator for chaos
+    #: throughput in BENCH_netsim.json.
+    events_run: int = 0
 
     def ok(self) -> bool:
         return not self.violations and not self.failed_pairs
@@ -180,6 +184,7 @@ class ChaosReport:
             f"unreachable pairs:  {len(self.failed_pairs)}",
             f"quiesced at:        {self.quiesce_time:.3f}s "
             f"(horizon {self.horizon:.3f}s)",
+            f"simulator events:   {self.events_run}",
             f"timeline digest:    {self.timeline_digest()}",
         ]
         for violation in self.violations[:20]:
@@ -399,9 +404,13 @@ class ChaosRunner:
         self.install()
         loop.schedule(0.0, self._tick, end_time)
 
+        events_before = loop.events_run
         fabric.network.run(until=end_time)
         fabric.network.run_until_idle()
         report.quiesce_time = loop.now
+        # pending is an O(1) maintained counter; a non-zero value here
+        # would mean run_until_idle lied about quiescence.
+        assert loop.pending == 0
 
         # Quiesce: one last continuous pass, then ground-truth checks.
         report.checks_run += 1
@@ -417,4 +426,5 @@ class ChaosRunner:
             else:
                 report.failed_pairs.append((src, dst))
         self._count_chaos_deliveries()
+        report.events_run = loop.events_run - events_before
         return report

@@ -12,10 +12,12 @@ a time with a configurable per-frame processing delay.  Subclasses
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import Any, Callable, Deque, Dict, Optional, Tuple, Union
 
 from .channel import ChannelEnd
 from .events import EventLoop
+from .trace import PerfCounters
 
 __all__ = ["Device"]
 
@@ -33,13 +35,32 @@ class Device:
     ) -> None:
         self.name = name
         self.loop = loop
-        self.proc_delay = proc_delay
+        self._pd: ProcDelay = proc_delay
+        self._pd_callable = callable(proc_delay)
         self.ports: Dict[int, ChannelEnd] = {}
         self.powered = True
         self._queue: Deque[Tuple[str, int, Any]] = deque()
         self._busy = False
         self.packets_received = 0
         self.packets_sent = 0
+        self._stats: Optional[PerfCounters] = None
+        # Pre-bound service callback: one _serve event fires per frame,
+        # and binding a method allocates.
+        self._serve_cb = self._serve
+
+    def enable_counters(self, stats: PerfCounters) -> None:
+        """Attach a Tracer-gated profiling bucket (see netsim.trace)."""
+        self._stats = stats
+
+    @property
+    def proc_delay(self) -> ProcDelay:
+        return self._pd
+
+    @proc_delay.setter
+    def proc_delay(self, value: ProcDelay) -> None:
+        # Cached callable() verdict: the service path asks once per frame.
+        self._pd = value
+        self._pd_callable = callable(value)
 
     # ------------------------------------------------------------------
     # wiring
@@ -62,8 +83,30 @@ class Device:
         if not self.powered:
             return
         self.packets_received += 1
-        self._queue.append(("pkt", port, packet))
-        self._pump()
+        if self._busy or self._queue:
+            queue = self._queue
+            queue.append(("pkt", port, packet))
+            stats = self._stats
+            if stats is not None and len(queue) > stats.depth_max:
+                stats.depth_max = len(queue)
+            return
+        # Idle server: start service directly, skipping the queue
+        # round-trip.  Same single _serve event as the queued path, so
+        # event interleavings are unchanged.
+        self._busy = True
+        delay = self._pd(packet) if self._pd_callable else self._pd
+        if delay < 0:
+            raise ValueError(f"{self.name}: negative proc_delay {delay}")
+        stats = self._stats
+        if stats is not None:
+            stats.frames += 1
+            stats.service_s += delay
+        # Inlined EventLoop.call_after -- fires once per frame.
+        loop = self.loop
+        seq = loop._seq
+        loop._seq = seq + 1
+        heappush(loop._heap, (loop.now + delay, seq, self._serve_cb, ("pkt", port, packet)))
+        loop._live += 1
 
     def port_state_changed(self, port: int, up: bool) -> None:
         """Called by the channel on a physical state change."""
@@ -77,8 +120,12 @@ class Device:
             return
         self._busy = True
         kind, port, item = self._queue.popleft()
-        delay = self.proc_delay(item) if callable(self.proc_delay) else self.proc_delay
-        self.loop.schedule(delay, self._serve, kind, port, item)
+        delay = self._pd(item) if self._pd_callable else self._pd
+        stats = self._stats
+        if stats is not None:
+            stats.frames += 1
+            stats.service_s += delay
+        self.loop.call_after(delay, self._serve_cb, kind, port, item)
 
     def _serve(self, kind: str, port: int, item: Any) -> None:
         self._busy = False
@@ -87,18 +134,23 @@ class Device:
                 self.handle_packet(port, item)
             else:
                 self.handle_port_state(port, item)
-        self._pump()
+        if self._queue and not self._busy:
+            self._pump()
 
     def send(self, port: int, packet: Any, size_bits: Optional[float] = None) -> bool:
         """Transmit out of ``port``.  Returns False if the port is dead."""
         if not self.powered:
             return False
-        end = self.ports.get(port)
-        if end is None:
+        try:
+            end = self.ports[port]
+        except KeyError:
             return False
         if size_bits is None:
-            size_bits = 8.0 * getattr(packet, "size_bytes", 1500)
-        ok = end.transmit(packet, size_bits)
+            try:
+                size_bits = 8.0 * packet.size_bytes
+            except AttributeError:
+                size_bits = 8.0 * 1500
+        ok = end.channel.transmit(end, packet, size_bits)
         if ok:
             self.packets_sent += 1
         return ok

@@ -78,6 +78,9 @@ class Network:
             self._wire_link(link)
         for host in topology.hosts:
             self._wire_host(host)
+        if self.tracer.counters_enabled:
+            for name, device in {**self.switches, **self.hosts}.items():
+                device.enable_counters(self.tracer.counters_for(f"device:{name}"))
 
     # ------------------------------------------------------------------
 
@@ -96,6 +99,10 @@ class Network:
         self.switches[link.a.switch].attach(link.a.port, channel.ends[0])
         self.switches[link.b.switch].attach(link.b.port, channel.ends[1])
         self._link_channels[link.key()] = channel
+        if self.tracer.counters_enabled:
+            label = (f"link:{link.a.switch}.{link.a.port}-"
+                     f"{link.b.switch}.{link.b.port}")
+            channel.enable_counters(self.tracer.counters_for(label))
 
     def _wire_host(self, host: str) -> None:
         ref = self.topology.host_port(host)
@@ -103,6 +110,8 @@ class Network:
         self.switches[ref.switch].attach(ref.port, channel.ends[0])
         self.hosts[host].attach(HOST_NIC_PORT, channel.ends[1])
         self._host_channels[host] = channel
+        if self.tracer.counters_enabled:
+            channel.enable_counters(self.tracer.counters_for(f"nic:{host}"))
 
     # ------------------------------------------------------------------
     # lookups
@@ -170,12 +179,23 @@ class Network:
         self.switches[switch].power_on()
 
     def fail_random_link(self, rng: Optional[random.Random] = None) -> Link:
-        """Cut a uniformly random switch-switch link; returns which."""
+        """Cut a uniformly random *live* switch-switch link; returns which.
+
+        Already-down links are excluded from the draw (cutting one
+        would be a silent no-op, making seeded fault schedules inject
+        fewer faults than they report).  Raises
+        :class:`~repro.topology.graph.TopologyError` when every link is
+        already down.
+        """
         rng = rng or self.rng
-        links = self.topology.links
-        if not links:
-            raise TopologyError("no switch-switch links to fail")
-        link = rng.choice(links)
+        candidates = [
+            link
+            for link in self.topology.links
+            if self._link_channels[link.key()].up
+        ]
+        if not candidates:
+            raise TopologyError("no live switch-switch links left to fail")
+        link = rng.choice(candidates)
         self.fail_link(link.a.switch, link.a.port, link.b.switch, link.b.port)
         return link
 

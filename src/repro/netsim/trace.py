@@ -4,6 +4,13 @@ Experiments need per-event timestamps (Figure 11(a) plots the CDF of
 notification arrival times across hosts).  A :class:`Tracer` is a cheap
 append-only log of (time, category, detail) rows with small query
 helpers; devices call :meth:`record` and benchmarks slice afterwards.
+
+The tracer also gates the emulator's profiling counters: construct it
+with ``counters_enabled=True`` and the :class:`~repro.netsim.network.
+Network` wires one :class:`PerfCounters` bucket per device and per
+channel.  When the flag is off (the default) the hot path pays exactly
+one ``is not None`` check per frame -- profiling costs nothing unless
+asked for.
 """
 
 from __future__ import annotations
@@ -11,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional
 
-__all__ = ["TraceEvent", "Tracer"]
+__all__ = ["TraceEvent", "Tracer", "PerfCounters"]
 
 
 @dataclass(frozen=True)
@@ -22,12 +29,42 @@ class TraceEvent:
     detail: Any = None
 
 
+class PerfCounters:
+    """One profiling bucket: a handful of plain numeric fields.
+
+    Channels fill frames/bits/wait_s (wait_s is time frames spent
+    queued behind earlier frames on the same direction); devices fill
+    frames/service_s/depth_max (service_s is accumulated processing
+    delay, depth_max the service-queue high-water mark).
+    """
+
+    __slots__ = ("frames", "bits", "wait_s", "service_s", "depth_max")
+
+    def __init__(self) -> None:
+        self.frames = 0
+        self.bits = 0.0
+        self.wait_s = 0.0
+        self.service_s = 0.0
+        self.depth_max = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "frames": self.frames,
+            "bits": self.bits,
+            "wait_s": self.wait_s,
+            "service_s": self.service_s,
+            "depth_max": self.depth_max,
+        }
+
+
 class Tracer:
     """Append-only event log shared by the devices of one network."""
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(self, enabled: bool = True, counters_enabled: bool = False) -> None:
         self.enabled = enabled
         self.events: List[TraceEvent] = []
+        self.counters_enabled = counters_enabled
+        self.counters: Dict[str, PerfCounters] = {}
 
     def record(self, time: float, category: str, node: str, detail: Any = None) -> None:
         if self.enabled:
@@ -35,6 +72,23 @@ class Tracer:
 
     def clear(self) -> None:
         self.events.clear()
+
+    # ------------------------------------------------------------------
+    # profiling counters
+
+    def counters_for(self, label: str) -> PerfCounters:
+        """The (created-on-first-use) profiling bucket for ``label``."""
+        bucket = self.counters.get(label)
+        if bucket is None:
+            bucket = self.counters[label] = PerfCounters()
+        return bucket
+
+    def counter_report(self) -> Dict[str, Dict[str, float]]:
+        """All buckets as plain dicts, sorted by label -- JSON-ready."""
+        return {
+            label: self.counters[label].as_dict()
+            for label in sorted(self.counters)
+        }
 
     # ------------------------------------------------------------------
     # queries

@@ -160,13 +160,18 @@ class TestNetsimExtras:
         b = Recorder("b", loop)
         a.attach(1, channel.ends[0])
         b.attach(1, channel.ends[1])
-        for _ in range(30):
-            a.send(1, FakeFrame())
+        # Space the sends wider than the jitter range: back-to-back sends
+        # would be FIFO-clamped onto their predecessors' arrivals (by
+        # design -- delivery order equals send order), hiding the spread.
+        spacing = 5e-3
+        for i in range(30):
+            loop.schedule(i * spacing, a.send, 1, FakeFrame())
         loop.run()
         times = [t for t, _p, _f in b.packets]
-        deltas = {round(t, 6) for t in times}
-        assert len(deltas) > 10  # jitter produced spread
-        assert all(1e-3 <= t <= 2.1e-3 for t in times)
+        latencies = [t - i * spacing for i, t in enumerate(times)]
+        assert len({round(lat, 6) for lat in latencies}) > 10  # jitter spread
+        assert all(1e-3 <= lat <= 2.1e-3 for lat in latencies)
+        assert times == sorted(times)  # FIFO preserved per direction
 
     def test_pending_count_excludes_cancelled(self):
         loop = EventLoop()
@@ -174,3 +179,52 @@ class TestNetsimExtras:
         loop.schedule(2.0, lambda: None)
         h1.cancel()
         assert loop.pending == 1
+
+
+class TestGoldenTrace:
+    """Pin the exact event interleaving of a seeded bootstrap.
+
+    The netsim hot path carries several layers of optimization (lazy
+    heap deletion, no-handle scheduling, the channel fast path); all of
+    them are only admissible because they keep event interleavings
+    byte-identical.  This digest is over every traced event's exact
+    repr'd timestamp, so any reordering, fusion, or float drift in the
+    default (no-jitter) configuration fails loudly.
+    """
+
+    GOLDEN_DIGEST = (
+        "02c68774122d27d6ea9d068bd7a4456af68f8999b860831a9c201a6c70facbd0"
+    )
+    GOLDEN_EVENTS_RUN = 171663
+    GOLDEN_FINAL_CLOCK = 0.14248748159999963
+
+    @staticmethod
+    def _bootstrap_digest(seed=1):
+        import hashlib
+
+        from repro.topology import paper_testbed
+
+        fabric = DumbNetFabric(
+            paper_testbed(), controller_host="h0_0", seed=seed
+        )
+        fabric.bootstrap()
+        blob = "\n".join(
+            f"{ev.time!r}|{ev.category}|{ev.node}|{ev.detail!r}"
+            for ev in fabric.tracer
+        )
+        digest = hashlib.sha256(blob.encode()).hexdigest()
+        return digest, fabric.loop.events_run, fabric.now
+
+    def test_same_seed_trace_is_byte_identical(self):
+        digest, events_run, now = self._bootstrap_digest()
+        assert digest == self.GOLDEN_DIGEST
+        assert events_run == self.GOLDEN_EVENTS_RUN
+        assert now == self.GOLDEN_FINAL_CLOCK  # exact, not approx
+
+    def test_repeat_run_reproduces_digest(self):
+        # Two fresh fabrics in one process: no hidden global state
+        # (packet uid counter, gc toggling, heap reuse) leaks between
+        # runs in a way the digest would see.
+        first = self._bootstrap_digest()
+        second = self._bootstrap_digest()
+        assert first == second

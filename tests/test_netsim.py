@@ -1,6 +1,8 @@
 """Tests for the discrete-event emulator core."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.netsim import (
     Channel,
@@ -282,3 +284,276 @@ class TestTracer:
         tracer = Tracer(enabled=False)
         tracer.record(1.0, "x", "n")
         assert len(tracer) == 0
+
+
+class TestQuiesceGuard:
+    def test_raises_when_live_events_remain(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: None)
+        loop.schedule(2.0, lambda: None)
+        with pytest.raises(SimulationError, match="did not quiesce"):
+            loop.run_until_idle(max_events=1)
+
+    def test_raises_even_when_cancelled_events_mask_live_ones(self):
+        # The old guard scanned the heap for non-cancelled handles and
+        # could be fooled; any *live* event left after max_events must
+        # raise, regardless of dead entries around it.
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: None)
+        dead = loop.schedule(2.0, lambda: None)
+        dead.cancel()
+        loop.schedule(3.0, lambda: None)  # live, will not run
+        with pytest.raises(SimulationError, match="1 live"):
+            loop.run_until_idle(max_events=1)
+
+    def test_leftover_cancelled_entries_are_not_a_failure(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: None)
+        loop.schedule(5.0, lambda: None).cancel()
+        loop.run_until_idle(max_events=1)  # dead weight is not work
+        assert loop.pending == 0
+
+    def test_fire_and_forget_counts_as_live(self):
+        loop = EventLoop()
+        loop.call_after(1.0, lambda: None)
+        loop.call_after(2.0, lambda: None)
+        with pytest.raises(SimulationError):
+            loop.run_until_idle(max_events=1)
+
+
+class TestLazyDeletion:
+    def test_pending_is_maintained_not_scanned(self):
+        loop = EventLoop()
+        handles = [loop.schedule(1.0, lambda: None) for _ in range(10)]
+        loop.call_after(1.0, lambda: None)
+        assert loop.pending == 11
+        for handle in handles[:4]:
+            handle.cancel()
+        assert loop.pending == 7
+        handles[0].cancel()  # double-cancel is a no-op
+        assert loop.pending == 7
+        loop.run()
+        assert loop.pending == 0
+
+    def test_cancel_heavy_heap_stays_bounded(self):
+        # Regression: before lazy deletion grew a compaction sweep,
+        # arm/disarm churn (protocol retry timers) left every cancelled
+        # entry in the heap until its deadline passed.
+        from repro.netsim.events import COMPACT_MIN_DEAD
+
+        loop = EventLoop()
+        peak = 0
+        cycles = 5000
+
+        def noop():
+            raise AssertionError("cancelled timer fired")
+
+        def tick(n):
+            nonlocal peak
+            loop.schedule(1000.0, noop).cancel()
+            peak = max(peak, len(loop._heap))
+            if n > 0:
+                loop.call_after(1e-6, tick, n - 1)
+
+        loop.call_after(0.0, tick, cycles)
+        loop.run()
+        # One live chain timer plus at most ~2x the compaction floor of
+        # dead entries between sweeps.
+        assert peak <= 4 * COMPACT_MIN_DEAD
+        assert loop.pending == 0
+
+    def test_compaction_preserves_order(self):
+        loop = EventLoop()
+        fired = []
+        keep = [loop.schedule(float(i), fired.append, i) for i in range(1, 6)]
+        doomed = [loop.schedule(0.5, fired.append, -1) for _ in range(200)]
+        for handle in doomed:
+            handle.cancel()  # crosses the compaction threshold mid-loop
+        assert loop.dead_entries < 200  # a sweep actually happened
+        loop.run()
+        assert fired == [1, 2, 3, 4, 5]
+        assert all(h.cancelled for h in doomed)
+        assert keep[0].cancelled  # fired handles read as spent
+
+
+class TestChannelFifo:
+    def test_jitter_cannot_reorder_frames(self):
+        import random as _random
+
+        loop = EventLoop()
+        a, b, _ch = wire_pair(
+            loop, latency=1e-3, jitter_s=1e-3, rng=_random.Random(3)
+        )
+        frames = [FakeFrame() for _ in range(50)]
+        for frame in frames:
+            a.send(1, frame)
+        loop.run()
+        assert [f for _t, _p, f in b.packets] == frames
+        times = [t for t, _p, _f in b.packets]
+        assert times == sorted(times)
+
+    def test_directions_clamp_independently(self):
+        import random as _random
+
+        loop = EventLoop()
+        a, b, ch = wire_pair(
+            loop, latency=1e-3, jitter_s=5e-3, rng=_random.Random(1)
+        )
+        a.send(1, FakeFrame())
+        b.send(1, FakeFrame())
+        a.send(1, FakeFrame())
+        b.send(1, FakeFrame())
+        loop.run()
+        # Two frames each way, in order on each side; the huge jitter
+        # on one direction must not delay the other.
+        assert len(a.packets) == 2 and len(b.packets) == 2
+        assert [t for t, _p, _f in a.packets] == sorted(t for t, _p, _f in a.packets)
+
+    def test_fifo_survives_line_flap(self):
+        # busy_until/last_arrival reset on line-down: frames sent after
+        # a restore must not queue behind ghosts of dropped frames.
+        loop = EventLoop()
+        a, b, ch = wire_pair(loop, bandwidth=8e3, latency=0.0)  # 1 KB/s
+        for _ in range(10):
+            a.send(1, FakeFrame(1000))  # 1 s serialization each
+        ch.fail()
+        loop.run()
+        assert b.packets == []  # all died with the line
+        ch.restore()
+        loop.run()
+        t0 = loop.now
+        a.send(1, FakeFrame(1000))
+        loop.run()
+        assert len(b.packets) == 1
+        assert b.packets[0][0] == pytest.approx(t0 + 1.0)  # not t0 + 11s
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    seed=st.integers(0, 2**20),
+    jitter=st.floats(0.0, 5e-3),
+    bandwidth=st.sampled_from([None, 8e3, 8e6, 1e9]),
+    sizes=st.lists(st.integers(1, 2000), min_size=2, max_size=30),
+)
+def test_fifo_property_under_jitter_and_bandwidth(seed, jitter, bandwidth, sizes):
+    """Delivery order equals send order for any jitter/bandwidth mix."""
+    import random as _random
+
+    loop = EventLoop()
+    a, b, _ch = wire_pair(
+        loop,
+        bandwidth=bandwidth,
+        latency=1e-3,
+        jitter_s=jitter,
+        rng=_random.Random(seed),
+    )
+    frames = [FakeFrame(size) for size in sizes]
+    gap_rng = _random.Random(seed + 1)
+    t = 0.0
+    for frame in frames:
+        t += gap_rng.uniform(0.0, 2e-3)
+        loop.schedule(t, a.send, 1, frame)
+    loop.run()
+    delivered = [f for _t, _p, f in b.packets]
+    assert delivered == frames
+    times = [t for t, _p, _f in b.packets]
+    assert times == sorted(times)
+
+
+class TestFailRandomLink:
+    def _net(self, n):
+        def sw(name, ports, network):
+            return Recorder(name, network.loop)
+
+        def host(name, network):
+            return Recorder(name, network.loop)
+
+        return Network(line(n), sw, host)
+
+    def test_skips_links_that_are_already_down(self):
+        import random as _random
+
+        net = self._net(4)  # 3 switch-switch links
+        downed = set()
+        for _ in range(3):
+            link = net.fail_random_link(rng=_random.Random(0))
+            key = link.key()
+            assert key not in downed  # rng is constant: only skipping works
+            downed.add(key)
+        assert len(downed) == 3
+
+    def test_raises_when_every_link_is_down(self):
+        from repro.topology.graph import TopologyError
+
+        net = self._net(3)
+        net.fail_random_link()
+        net.fail_random_link()
+        with pytest.raises(TopologyError, match="no live"):
+            net.fail_random_link()
+
+    def test_restored_links_are_candidates_again(self):
+        net = self._net(3)
+        first = net.fail_random_link()
+        second = net.fail_random_link()
+        net.restore_link(
+            first.a.switch, first.a.port, first.b.switch, first.b.port
+        )
+        third = net.fail_random_link()
+        assert third.key() == first.key()
+        assert second.key() != third.key()
+
+
+class TestPerfCounters:
+    def test_channel_counters_gated_off_by_default(self):
+        loop = EventLoop()
+        a, b, ch = wire_pair(loop)
+        a.send(1, FakeFrame())
+        loop.run()
+        assert ch._stats is None  # nothing allocated when disabled
+
+    def test_channel_counters_accumulate(self):
+        from repro.netsim import PerfCounters
+
+        loop = EventLoop()
+        a, b, ch = wire_pair(loop, bandwidth=8e6, latency=0.0)
+        stats = PerfCounters()
+        ch.enable_counters(stats)
+        a.send(1, FakeFrame(1000))
+        a.send(1, FakeFrame(1000))  # queues behind frame 1 for 1 ms
+        loop.run()
+        assert stats.frames == 2
+        assert stats.bits == pytest.approx(16000)
+        assert stats.wait_s == pytest.approx(1e-3)
+
+    def test_device_counters_track_service_and_depth(self):
+        from repro.netsim import PerfCounters
+
+        loop = EventLoop()
+        a, b, _ch = wire_pair(loop, latency=0.0)
+        b.proc_delay = 1e-3
+        stats = PerfCounters()
+        b.enable_counters(stats)
+        for _ in range(3):
+            a.send(1, FakeFrame())
+        loop.run()
+        assert stats.frames == 3
+        assert stats.service_s == pytest.approx(3e-3)
+        assert stats.depth_max == 2  # two frames queued behind the first
+
+    def test_tracer_wires_counters_into_network(self):
+        tracer = Tracer(counters_enabled=True)
+
+        def sw(name, ports, network):
+            return Recorder(name, network.loop)
+
+        def host(name, network):
+            return Recorder(name, network.loop)
+
+        net = Network(line(2, hosts_per_switch=1), sw, host, tracer=tracer)
+        net.hosts["hL0_0"].send(1, FakeFrame())
+        net.run_until_idle()
+        report = tracer.counter_report()
+        assert any(label.startswith("device:") for label in report)
+        assert any(label.startswith("link:") for label in report)
+        assert any(label.startswith("nic:") for label in report)
+        assert sum(c["frames"] for c in report.values()) > 0
