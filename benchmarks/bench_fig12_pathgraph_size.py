@@ -25,12 +25,22 @@ PATH_LENGTHS = (2, 5, 10, 15)
 SAMPLES_PER_LENGTH = 3
 
 
-def pick_pair_at_distance(topo, rng, hops):
-    """A random switch pair exactly ``hops`` apart."""
+def pick_pair_at_distance(topo, rng, hops, dist_cache=None):
+    """A random switch pair exactly ``hops`` apart.
+
+    ``dist_cache`` memoizes the per-source distance map: the grid
+    resamples sources across lengths, and one BFS over a 1000-switch
+    cube per retry dominated the whole benchmark's setup time.
+    """
     switches = topo.switches
     for _ in range(500):
         src = rng.choice(switches)
-        dist = topo.switch_distances(src)
+        if dist_cache is None:
+            dist = topo.switch_distances(src)
+        else:
+            dist = dist_cache.get(src)
+            if dist is None:
+                dist = dist_cache[src] = topo.switch_distances(src)
         candidates = [sw for sw, d in dist.items() if d == hops]
         if candidates:
             return src, rng.choice(candidates)
@@ -40,10 +50,11 @@ def pick_pair_at_distance(topo, rng, hops):
 def run_grid():
     topo = cube([10, 10, 10], hosts_per_switch=1, num_ports=8)
     rng = random.Random(2024)
+    dist_cache = {}
     grid = {}
     for length in PATH_LENGTHS:
         pairs = [
-            pick_pair_at_distance(topo, rng, length)
+            pick_pair_at_distance(topo, rng, length, dist_cache)
             for _ in range(SAMPLES_PER_LENGTH)
         ]
         for eps in EPSILONS:

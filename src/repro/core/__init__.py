@@ -34,6 +34,13 @@ from .messages import (
     TopologyPatch,
 )
 from .pathgraph import PathGraph, build_path_graph, detour_vertices
+from .pathservice import (
+    PathService,
+    PathServiceStats,
+    StablePathRng,
+    link_cache_key,
+    stable_salt,
+)
 from .pathcache import CachedPath, PathTable, PathTableEntry, TopoCache
 from .discovery import (
     DiscoveryError,
@@ -99,6 +106,11 @@ __all__ = [
     "PathGraph",
     "build_path_graph",
     "detour_vertices",
+    "PathService",
+    "PathServiceStats",
+    "StablePathRng",
+    "link_cache_key",
+    "stable_salt",
     "TopoCache",
     "PathTable",
     "PathTableEntry",

@@ -40,7 +40,7 @@ from .messages import (
     TopologyPatch,
 )
 from .packet import ID_QUERY
-from .pathgraph import build_path_graph
+from .pathservice import PathService
 
 __all__ = ["Controller", "ControllerConfig"]
 
@@ -71,6 +71,8 @@ class ControllerConfig(AgentConfig):
     #: to the probed switch broken mid-session) is retried this many
     #: times with exponential backoff before the port is given up on.
     reprobe_retries: int = 2
+    #: Bound on the path service's path-graph LRU cache (entries).
+    path_cache_capacity: int = 512
 
 
 class Controller(HostAgent):
@@ -95,6 +97,12 @@ class Controller(HostAgent):
         #: The authoritative network view.
         self.view: Optional[Topology] = None
         self.view_version = 0
+        #: Shared SSSP trees + path-graph cache; its stable tie-breaker
+        #: seed derives from the fabric seed so runs stay reproducible.
+        self.path_service = PathService(
+            capacity=self.config.path_cache_capacity,  # type: ignore[attr-defined]
+            seed=self.rng.randrange(2**63),
+        )
         #: Optional replication hook: an object with append(entry).
         self.replicator = None
         #: Pending link-up reprobe sessions.
@@ -130,6 +138,7 @@ class Controller(HostAgent):
         """Install a topology view (from discovery or from a blueprint)."""
         self.view = view
         self.view_version += 1
+        self.path_service.flush()
         if attachment is None:
             ref = view.host_port(self.name)
             attachment = (ref.switch, ref.port)
@@ -249,6 +258,9 @@ class Controller(HostAgent):
         view = self.view
         all_hosts = sorted(view.hosts)
         index_of = {h: i for i, h in enumerate(all_hosts)}
+        # Hoisted out of the per-pair loop: whether backup routes are
+        # wanted at all, decided once per rebuild.
+        want_backup = getattr(self.config, "gossip_route_redundancy", 2) >= 2
         overlay: Dict[str, Tuple[Tuple[str, Tuple[int, ...]], ...]] = {}
         for host in view.hosts:
             my_switch = view.host_port(host).switch
@@ -298,7 +310,7 @@ class Controller(HostAgent):
                 if peer in seen or peer == host:
                     continue
                 seen.add(peer)
-                routes = self._routes_between(host, peer)
+                routes = self._routes_between(host, peer, want_backup=want_backup)
                 if routes:
                     trimmed.append((peer, routes))
                 if len(trimmed) >= self.config.gossip_fanout:  # type: ignore[attr-defined]
@@ -313,13 +325,13 @@ class Controller(HostAgent):
             return None
         src_sw = view.host_port(src_host).switch
         dst_sw = view.host_port(dst_host).switch
-        path = view.shortest_switch_path(src_sw, dst_sw)
+        path = self.path_service.shortest_path(view, src_sw, dst_sw)
         if path is None:
             return None
         return tuple(view.encode_path(src_host, path, dst_host))
 
     def _routes_between(
-        self, src_host: str, dst_host: str
+        self, src_host: str, dst_host: str, want_backup: Optional[bool] = None
     ) -> Tuple[Tuple[int, ...], ...]:
         """Up to two link-disjoint tag routes between two hosts.
 
@@ -327,19 +339,23 @@ class Controller(HostAgent):
         severed by exactly the failures it must report; sending each
         flood message on two disjoint routes keeps the overlay connected
         under any single link failure (duplicates are deduplicated by
-        the receivers anyway).
+        the receivers anyway).  The primary comes from the path
+        service's shared SSSP tree; only the backup (whose link costs
+        are unique to this primary) runs a fresh search.
         """
         assert self.view is not None
         view = self.view
+        if want_backup is None:
+            want_backup = getattr(self.config, "gossip_route_redundancy", 2) >= 2
         if not (view.has_host(src_host) and view.has_host(dst_host)):
             return ()
         src_sw = view.host_port(src_host).switch
         dst_sw = view.host_port(dst_host).switch
-        primary = view.shortest_switch_path(src_sw, dst_sw)
+        primary = self.path_service.shortest_path(view, src_sw, dst_sw)
         if primary is None:
             return ()
         routes = [tuple(view.encode_path(src_host, primary, dst_host))]
-        if getattr(self.config, "gossip_route_redundancy", 2) >= 2:
+        if want_backup:
             costs = {}
             for here, there in zip(primary, primary[1:]):
                 for link in view.links_between(here, there):
@@ -365,13 +381,12 @@ class Controller(HostAgent):
             dst_ref = view.host_port(request.dst)
             src_att = (src_ref.switch, src_ref.port)
             dst_att = (dst_ref.switch, dst_ref.port)
-            graph = build_path_graph(
+            graph = self.path_service.path_graph(
                 view,
                 src_ref.switch,
                 dst_ref.switch,
                 s=self.config.path_graph_s,
                 epsilon=self.config.path_graph_epsilon,
-                rng=self.rng,
             )
             if graph is None:
                 found = False
@@ -407,6 +422,9 @@ class Controller(HostAgent):
             return  # host-facing port or already-removed link
         self.view.remove_link(note.switch, note.port, peer.switch, peer.port)
         self.view_version += 1
+        self.path_service.invalidate_link(
+            self.view, note.switch, note.port, peer.switch, peer.port
+        )
         change = TopologyChange(
             op="link-down", args=(note.switch, note.port, peer.switch, peer.port)
         )
@@ -517,9 +535,13 @@ class Controller(HostAgent):
             # A brand-new switch appeared: give it the fabric-wide port
             # count and let future reprobes flesh out its other links.
             self.view.add_switch(neighbor, self.view.num_ports(switch))
+            self.path_service.flush()
         if self.view.peer(switch, port) is None and self.view.peer(neighbor, r) is None:
             self.view.add_link(switch, port, neighbor, r)
             self.view_version += 1
+            # A restored link can create new shortest paths anywhere, so
+            # precise eviction cannot honor it: flush the path cache.
+            self.path_service.flush()
             change = TopologyChange(op="link-up", args=(switch, port, neighbor, r))
             self._log_change(change)
             self._flood_patch((change,), self.view_version)

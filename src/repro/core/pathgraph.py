@@ -20,9 +20,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
-from ..topology.graph import Topology
+from ..topology.graph import SSSPTree, Topology
 
 __all__ = ["PathGraph", "build_path_graph", "detour_vertices"]
 
@@ -66,17 +66,23 @@ def detour_vertices(
     primary: Sequence[str],
     s: int,
     epsilon: int,
+    distances: Optional[Callable[[str], Mapping[str, float]]] = None,
 ) -> Set[str]:
     """Algorithm 1: vertices of all "s-step, ε-good" local detours.
 
     Walks the primary path in strides of ``s/2``; for each window
     ``(a, b) = (p_i, p_{i+s})`` it collects every switch ``x`` with
     ``dist(a, x) + dist(x, b) <= s + ε``.
+
+    ``distances`` substitutes a memoized source -> distance-map provider
+    (e.g. the controller path service's shared SSSP trees) for the
+    per-window BFS; it must agree with ``topology.switch_distances``.
     """
     if s < 1:
         raise ValueError(f"detour window s must be >= 1, got {s}")
     if epsilon < 0:
         raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+    dist_of = distances if distances is not None else topology.switch_distances
     detours: Set[str] = set()
     length = len(primary)
     step = max(1, s // 2)
@@ -84,8 +90,8 @@ def detour_vertices(
     while i < length - 1:
         a = primary[i]
         b = primary[min(i + s, length - 1)]
-        dist_a = topology.switch_distances(a)
-        dist_b = topology.switch_distances(b)
+        dist_a = dist_of(a)
+        dist_b = dist_of(b)
         budget = s + epsilon
         for x, da in dist_a.items():
             if da > budget:
@@ -104,9 +110,21 @@ def build_path_graph(
     s: int = 2,
     epsilon: int = 1,
     rng: Optional[random.Random] = None,
+    tree: Optional[SSSPTree] = None,
+    distances: Optional[Callable[[str], Mapping[str, float]]] = None,
 ) -> Optional[PathGraph]:
-    """Build the path graph for a switch pair; None when unreachable."""
-    primary = topology.shortest_switch_path(src_switch, dst_switch, rng=rng)
+    """Build the path graph for a switch pair; None when unreachable.
+
+    ``tree`` (an :class:`~repro.topology.graph.SSSPTree` rooted at
+    ``src_switch``) and ``distances`` (a memoized source -> distance-map
+    provider) let the controller's path service share shortest-path work
+    across queries; both must describe ``topology`` exactly.  The backup
+    path always runs a fresh search because its link costs are unique to
+    this primary.
+    """
+    primary = topology.shortest_switch_path(
+        src_switch, dst_switch, rng=rng, tree=tree
+    )
     if primary is None:
         return None
 
@@ -127,7 +145,9 @@ def build_path_graph(
     if backup:
         nodes.update(backup)
     if len(primary) > 1:
-        nodes.update(detour_vertices(topology, primary, s, epsilon))
+        nodes.update(
+            detour_vertices(topology, primary, s, epsilon, distances=distances)
+        )
 
     edges: List[Tuple[str, int, str, int]] = []
     seen_edges: Set[FrozenSet] = set()

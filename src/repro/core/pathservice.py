@@ -1,0 +1,336 @@
+"""The controller's fast path service (Section 4.3).
+
+The paper frames path graphs as *cacheable* controller state: "the
+controller can cache path graphs for popular pairs" (§4.3, Fig 12) and
+"only affected flows react" to a failure (§4.2).  This module makes the
+controller's repeated path work near-free while keeping every answer
+byte-identical to a fresh computation:
+
+* **Shared SSSP trees** -- one full Dijkstra run per (current topology,
+  source switch), memoized and reused across ``_tags_between``,
+  ``_routes_between``, gossip-overlay rebuilds, and every path-graph
+  build (primary walk-back and Algorithm-1 detour distance maps).  A
+  full tree reproduces the early-terminating per-pair run exactly: the
+  equal-cost parent lists of every switch a walk-back can visit have
+  the same content in the same relaxation order.
+
+* **A bounded LRU path-graph cache** keyed on (src switch, dst switch,
+  s, epsilon) within one coherency epoch -- (view identity,
+  ``Topology.topo_version``) -- with hit/miss/eviction counters
+  surfaced through :mod:`repro.core.telemetry` and the chaos report.
+  Any switch-graph mutation made behind the service's back moves the
+  epoch and drops everything on the next query, so direct view edits
+  (tests, fault injectors) can never serve stale answers.
+
+* **Incremental invalidation on failure** -- a reverse index from link
+  to cache keys evicts exactly the cached path graphs whose edge set
+  contains a failed cable; everything else survives.  This is sound
+  because a path graph's induced edge set contains *every* link between
+  its nodes, and removing a link outside the graph can only shrink
+  shortest-path parent sets elsewhere: with the stable tie-breaker
+  below, an argmin over a subset that still contains the old argmin is
+  unchanged, so a fresh build on the patched view reproduces the
+  surviving entry bit for bit.  Link *restores* (and new switches, and
+  whole-view adoption) can create new shortest paths anywhere, so they
+  flush the cache wholesale.
+
+**Determinism contract.**  Randomized tie-breaking among equal-cost
+parents is what spreads load across shortest paths (§4.3), but a
+mutable ``random.Random`` stream would make a cache hit observably
+different from a fresh build (the hit skips the draws).  The service
+therefore derives one :class:`StablePathRng` per cache key: the choice
+among equal-cost parents is a pure function of (service seed, src, dst,
+s, epsilon, candidate), different across pairs (load balancing
+preserved) but reproducible -- ``build_path_graph(view, ...,
+rng=service.rng_for(...))`` always equals the cached answer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..topology.graph import SSSPTree, Topology
+from .pathgraph import PathGraph, build_path_graph
+
+__all__ = [
+    "PathService",
+    "PathServiceStats",
+    "StablePathRng",
+    "link_cache_key",
+    "stable_salt",
+]
+
+#: Orientation-independent identity of a cable in the reverse index.
+LinkCacheKey = Tuple[Tuple[str, int], Tuple[str, int]]
+#: One cached path graph: (src switch, dst switch, s, epsilon).
+GraphKey = Tuple[str, str, int, int]
+
+_MISSING = object()
+
+
+def link_cache_key(sw_a: str, port_a: int, sw_b: str, port_b: int) -> LinkCacheKey:
+    """Normalize a cable's endpoints so both orientations collide."""
+    a, b = (sw_a, port_a), (sw_b, port_b)
+    return (a, b) if a <= b else (b, a)
+
+
+def stable_salt(seed: int, src: str, dst: str, s: int, epsilon: int) -> str:
+    """The tie-breaker salt for one cache key -- public so tests and
+    benchmarks can rebuild the exact rng a cached entry was built with."""
+    return f"{seed}:{src}:{dst}:{s}:{epsilon}"
+
+
+class StablePathRng:
+    """Drop-in for the ``rng`` that path building consumes (only
+    ``choice`` is ever called) whose picks are a pure function of
+    (salt, candidate): the argmin of a keyed blake2s digest.
+
+    Unlike ``random.Random.choice``, the pick does not depend on the
+    *number* or *order* of candidates -- only on which candidates exist.
+    Removing never-chosen alternates (what a far-away link failure does
+    to equal-cost parent lists) cannot change the outcome, which is the
+    property that makes selective cache retention byte-exact.
+    """
+
+    __slots__ = ("_salt",)
+
+    def __init__(self, salt: str) -> None:
+        self._salt = salt
+
+    def choice(self, seq: Sequence[str]) -> str:
+        if len(seq) == 1:
+            return seq[0]
+        salt = self._salt
+        return min(
+            seq,
+            key=lambda item: hashlib.blake2s(f"{salt}|{item}".encode()).digest(),
+        )
+
+
+class PathServiceStats:
+    """Plain counters; exported through telemetry and the chaos report."""
+
+    __slots__ = (
+        "hits",
+        "misses",
+        "capacity_evictions",
+        "link_evictions",
+        "link_invalidations",
+        "flushes",
+        "stale_flushes",
+        "tree_builds",
+        "tree_hits",
+    )
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.capacity_evictions = 0
+        self.link_evictions = 0
+        self.link_invalidations = 0
+        self.flushes = 0
+        self.stale_flushes = 0
+        self.tree_builds = 0
+        self.tree_hits = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class PathService:
+    """Shared SSSP trees + LRU path-graph cache + precise invalidation.
+
+    The service never mutates or retains the view; the owning
+    controller passes its current view into every query and calls
+    :meth:`invalidate_link` / :meth:`flush` from the exact code paths
+    that mutate the view's switch graph.  Host additions need no hook:
+    they do not touch switch reachability.
+    """
+
+    def __init__(self, capacity: int = 512, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.seed = seed
+        self.stats = PathServiceStats()
+        self._graphs: "OrderedDict[GraphKey, Optional[PathGraph]]" = OrderedDict()
+        self._by_link: Dict[LinkCacheKey, Set[GraphKey]] = {}
+        self._links_of: Dict[GraphKey, Tuple[LinkCacheKey, ...]] = {}
+        self._trees: Dict[str, SSSPTree] = {}
+        #: Coherency epoch: (view identity, view.topo_version) the
+        #: cached state was built against; None when empty.
+        self._epoch: Optional[Tuple[int, int]] = None
+
+    def __len__(self) -> int:
+        return len(self._graphs)
+
+    def cached_keys(self) -> List[GraphKey]:
+        return list(self._graphs)
+
+    def _sync(self, view: Topology) -> None:
+        """Drop everything if the view's switch graph moved without the
+        controller telling us (a direct test/fault-injector edit)."""
+        current = (id(view), view.topo_version)
+        if self._epoch == current:
+            return
+        if self._epoch is not None:
+            self._drop_all()
+            self.stats.stale_flushes += 1
+        self._epoch = current
+
+    # ------------------------------------------------------------------
+    # shared SSSP trees
+
+    def tree(self, view: Topology, source: str) -> SSSPTree:
+        """The memoized unit-cost SSSP tree rooted at ``source``."""
+        self._sync(view)
+        tree = self._trees.get(source)
+        if tree is None:
+            tree = self._trees[source] = view.sssp_tree(source)
+            self.stats.tree_builds += 1
+        else:
+            self.stats.tree_hits += 1
+        return tree
+
+    def distances(self, view: Topology, source: str) -> Mapping[str, float]:
+        """Hop-distance map from ``source`` (tree-backed, memoized)."""
+        return self.tree(view, source).dist
+
+    def shortest_path(
+        self, view: Topology, src: str, dst: str, rng=None
+    ) -> Optional[List[str]]:
+        """Tree-backed ``view.shortest_switch_path(src, dst)``."""
+        if not view.has_switch(src):
+            return None
+        return self.tree(view, src).path_to(dst, rng=rng)
+
+    # ------------------------------------------------------------------
+    # path graphs
+
+    def rng_for(self, src: str, dst: str, s: int, epsilon: int) -> StablePathRng:
+        """The exact tie-breaker a (cached or fresh) build for this key
+        uses -- rebuildable by anyone who knows the service seed."""
+        return StablePathRng(stable_salt(self.seed, src, dst, s, epsilon))
+
+    def path_graph(
+        self, view: Topology, src: str, dst: str, s: int, epsilon: int
+    ) -> Optional[PathGraph]:
+        """The path graph for a switch pair, served from cache when
+        possible.  Unreachable pairs cache ``None`` (a link failure can
+        never connect them; anything that could flushes the cache)."""
+        self._sync(view)
+        key = (src, dst, s, epsilon)
+        cached = self._graphs.get(key, _MISSING)
+        if cached is not _MISSING:
+            self._graphs.move_to_end(key)
+            self.stats.hits += 1
+            return cached  # type: ignore[return-value]
+        self.stats.misses += 1
+        graph = self.build_fresh(view, src, dst, s, epsilon)
+        self._insert(key, graph)
+        return graph
+
+    def build_fresh(
+        self, view: Topology, src: str, dst: str, s: int, epsilon: int
+    ) -> Optional[PathGraph]:
+        """An uncached build with this key's deterministic rng -- the
+        reference every cached answer must stay byte-identical to."""
+        if not (view.has_switch(src) and view.has_switch(dst)):
+            return None
+        return build_path_graph(
+            view,
+            src,
+            dst,
+            s=s,
+            epsilon=epsilon,
+            rng=self.rng_for(src, dst, s, epsilon),
+            tree=self.tree(view, src),
+            distances=lambda source: self.distances(view, source),
+        )
+
+    def _insert(self, key: GraphKey, graph: Optional[PathGraph]) -> None:
+        links: Tuple[LinkCacheKey, ...] = ()
+        if graph is not None:
+            links = tuple(
+                {link_cache_key(a, ap, b, bp) for a, ap, b, bp in graph.edges}
+            )
+        self._graphs[key] = graph
+        self._links_of[key] = links
+        for lk in links:
+            self._by_link.setdefault(lk, set()).add(key)
+        while len(self._graphs) > self.capacity:
+            old_key, _old = self._graphs.popitem(last=False)
+            self._forget(old_key)
+            self.stats.capacity_evictions += 1
+
+    def _forget(self, key: GraphKey) -> None:
+        for lk in self._links_of.pop(key, ()):
+            bucket = self._by_link.get(lk)
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del self._by_link[lk]
+
+    # ------------------------------------------------------------------
+    # invalidation
+
+    def invalidate_link(
+        self, view: Topology, sw_a: str, port_a: int, sw_b: str, port_b: int
+    ) -> int:
+        """A cable went down: evict exactly the cached path graphs whose
+        edges contain it (§4.2: only affected flows react) and drop the
+        SSSP trees (distances elsewhere may have grown).  Returns the
+        number of evicted entries.
+
+        ``view`` is the already-patched view.  Selective retention is
+        only sound when the removal is the sole mutation since the cache
+        was filled, so anything but a single-step epoch advance falls
+        back to a full flush.
+        """
+        self.stats.link_invalidations += 1
+        current = (id(view), view.topo_version)
+        single_step = (
+            self._epoch is not None
+            and self._epoch[0] == current[0]
+            and self._epoch[1] + 1 == current[1]
+        )
+        if not single_step:
+            if self._epoch is not None:
+                self._drop_all()
+                self.stats.stale_flushes += 1
+            self._epoch = current
+            return 0
+        self._epoch = current
+        self._trees.clear()
+        keys = self._by_link.pop(
+            link_cache_key(sw_a, port_a, sw_b, port_b), None
+        )
+        if not keys:
+            return 0
+        evicted = 0
+        for key in list(keys):
+            if key in self._graphs:
+                del self._graphs[key]
+                self._forget(key)
+                evicted += 1
+        self.stats.link_evictions += evicted
+        return evicted
+
+    def flush(self) -> None:
+        """Topology changed in a way precise eviction cannot honor (link
+        restored, switch appeared, new view adopted): drop everything."""
+        self._drop_all()
+        self.stats.flushes += 1
+
+    def _drop_all(self) -> None:
+        self._graphs.clear()
+        self._by_link.clear()
+        self._links_of.clear()
+        self._trees.clear()
+        self._epoch = None

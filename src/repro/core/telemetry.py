@@ -110,6 +110,9 @@ class FabricReport:
 
     rows: Dict[str, Tuple[Tuple[str, int], ...]] = field(default_factory=dict)
     unreachable: List[str] = field(default_factory=list)
+    #: The controller's path-service counters (cache hits/misses/
+    #: evictions, SSSP tree reuse) at collection time.
+    controller_cache: Dict[str, int] = field(default_factory=dict)
 
     def total(self, counter: str) -> int:
         out = 0
@@ -147,7 +150,9 @@ class TelemetryCollector:
     def collect(self) -> FabricReport:
         view = self.controller.view
         assert view is not None
-        report = FabricReport()
+        report = FabricReport(
+            controller_cache=self.controller.path_service.stats.as_dict()
+        )
         pending: Dict[int, str] = {}
         for switch in view.switches:
             try:

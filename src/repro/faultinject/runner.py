@@ -165,6 +165,9 @@ class ChaosReport:
     #: invariant ticks, quiesce pings) -- the denominator for chaos
     #: throughput in BENCH_netsim.json.
     events_run: int = 0
+    #: Controller path-service counters summed over every controller
+    #: agent (primary + standbys) at quiesce.
+    path_service: Dict[str, int] = field(default_factory=dict)
 
     def ok(self) -> bool:
         return not self.violations and not self.failed_pairs
@@ -187,6 +190,14 @@ class ChaosReport:
             f"simulator events:   {self.events_run}",
             f"timeline digest:    {self.timeline_digest()}",
         ]
+        if self.path_service:
+            ps = self.path_service
+            lines.append(
+                "path service:       "
+                f"{ps.get('hits', 0)} hits / {ps.get('misses', 0)} misses, "
+                f"{ps.get('link_evictions', 0)} link evictions, "
+                f"{ps.get('flushes', 0)} flushes"
+            )
         for violation in self.violations[:20]:
             lines.append(f"  VIOLATION {violation}")
         for src, dst in self.failed_pairs[:20]:
@@ -427,4 +438,10 @@ class ChaosRunner:
                 report.failed_pairs.append((src, dst))
         self._count_chaos_deliveries()
         report.events_run = loop.events_run - events_before
+        for agent in fabric.agents.values():
+            if isinstance(agent, Controller):
+                for name, value in agent.path_service.stats.as_dict().items():
+                    report.path_service[name] = (
+                        report.path_service.get(name, 0) + value
+                    )
         return report

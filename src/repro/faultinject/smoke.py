@@ -9,7 +9,9 @@ fresh fabrics, and fails unless:
 * both runs finish with zero invariant violations,
 * every physically-connected host pair exchanges traffic at quiesce,
 * both runs produce the identical applied-timeline digest
-  (byte-for-byte determinism).
+  (byte-for-byte determinism),
+* the controller path service actually served the run (its hit/miss
+  counters are populated -- a wiring regression would leave them zero).
 """
 
 from __future__ import annotations
@@ -60,6 +62,12 @@ def main(argv=None) -> int:
     first = run_once(opts.seed, opts.faults, opts.k)
     print(first.summary())
     failed = not first.ok()
+
+    ps = first.path_service
+    if ps.get("hits", 0) + ps.get("misses", 0) == 0:
+        print("PATH SERVICE FAILURE: controller cache counters are all "
+              "zero -- the path service is not wired into the serving path")
+        failed = True
 
     if not opts.once:
         replay = run_once(opts.seed, opts.faults, opts.k)

@@ -29,6 +29,7 @@ __all__ = [
     "PortRef",
     "Link",
     "HostAttachment",
+    "SSSPTree",
     "Topology",
     "TopologyError",
 ]
@@ -91,6 +92,49 @@ class HostAttachment:
     attachment: PortRef
 
 
+@dataclass
+class SSSPTree:
+    """A full single-source shortest-path DAG rooted at ``source``.
+
+    ``dist`` maps every reachable switch to its cost from the source;
+    ``parents`` lists, for every reached switch, its equal-cost
+    predecessors *in relaxation order* -- the same content and order the
+    early-terminating :meth:`Topology.shortest_switch_path` run would
+    have accumulated for any destination, so walking back through a
+    shared tree reproduces per-destination runs byte for byte.
+
+    Trees are snapshots: they are only valid for the exact topology (and
+    ``link_costs``) they were computed on.  The controller's
+    :class:`~repro.core.pathservice.PathService` memoizes them per
+    source and drops them on any switch-graph mutation.
+    """
+
+    source: str
+    dist: Dict[str, float] = field(default_factory=dict)
+    parents: Dict[str, List[str]] = field(default_factory=dict)
+
+    def reaches(self, switch: str) -> bool:
+        return switch in self.dist
+
+    def path_to(
+        self, dst: str, rng: Optional[random.Random] = None
+    ) -> Optional[List[str]]:
+        """One shortest switch sequence ``source -> dst``; None when
+        unreachable.  With ``rng`` the choice among equal-cost parents
+        is randomized exactly like :meth:`Topology.shortest_switch_path`.
+        """
+        if dst not in self.dist:
+            return None
+        path = [dst]
+        cur = dst
+        while cur != self.source:
+            choices = self.parents[cur]
+            cur = rng.choice(choices) if rng is not None else choices[0]
+            path.append(cur)
+        path.reverse()
+        return path
+
+
 class Topology:
     """Mutable wiring diagram of switches, hosts and links.
 
@@ -109,6 +153,11 @@ class Topology:
         # Adjacency: switch -> list[(neighbor switch, Link)]
         self._adj: Dict[str, List[Tuple[str, Link]]] = {}
         self._hosts_on_switch: Dict[str, List[str]] = {}
+        #: Bumped by every switch-graph mutation (switches and cables,
+        #: not host attachments).  Consumers that memoize shortest-path
+        #: state (the controller's path service) compare it to detect
+        #: mutations made behind their back.
+        self.topo_version = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -122,6 +171,7 @@ class Topology:
         self._switch_ports[switch] = num_ports
         self._adj[switch] = []
         self._hosts_on_switch[switch] = []
+        self.topo_version += 1
 
     def add_host(self, host: str, switch: str, port: int) -> None:
         """Plug a host NIC into ``switch`` at ``port``."""
@@ -146,6 +196,7 @@ class Topology:
         self._links[link.key()] = link
         self._adj[sw_a].append((sw_b, link))
         self._adj[sw_b].append((sw_a, link))
+        self.topo_version += 1
         return link
 
     def remove_link(self, sw_a: str, port_a: int, sw_b: str, port_b: int) -> None:
@@ -162,6 +213,7 @@ class Topology:
         self._adj[link.b.switch] = [
             (nbr, lnk) for nbr, lnk in self._adj[link.b.switch] if lnk is not link
         ]
+        self.topo_version += 1
 
     def remove_switch(self, switch: str) -> None:
         """Remove a switch together with its links and host attachments."""
@@ -174,6 +226,7 @@ class Topology:
         del self._switch_ports[switch]
         del self._adj[switch]
         del self._hosts_on_switch[switch]
+        self.topo_version += 1
 
     def remove_host(self, host: str) -> None:
         ref = self._hosts.pop(host, None)
@@ -322,12 +375,49 @@ class Topology:
             frontier = nxt
         return dist
 
+    def sssp_tree(
+        self,
+        source: str,
+        link_costs: Optional[Dict[FrozenSet[PortRef], float]] = None,
+    ) -> SSSPTree:
+        """The full shortest-path DAG from ``source`` (Dijkstra, no
+        early termination).  One tree answers every destination the
+        per-pair :meth:`shortest_switch_path` would, with identical
+        parent lists for every switch a walk-back can visit, so callers
+        that serve many destinations from one source (the controller's
+        path service) compute the tree once and share it.
+        """
+        if source not in self._switch_ports:
+            raise TopologyError(f"unknown switch {source!r}")
+        dist: Dict[str, float] = {source: 0.0}
+        parents: Dict[str, List[str]] = {}
+        heap: List[Tuple[float, int, str]] = [(0.0, 0, source)]
+        counter = itertools.count(1)
+        while heap:
+            d, _tie, sw = heapq.heappop(heap)
+            if d > dist.get(sw, float("inf")):
+                continue
+            for nbr, link in self._adj[sw]:
+                cost = 1.0
+                if link_costs is not None:
+                    cost = link_costs.get(link.key(), 1.0)
+                nd = d + cost
+                old = dist.get(nbr, float("inf"))
+                if nd < old - 1e-12:
+                    dist[nbr] = nd
+                    parents[nbr] = [sw]
+                    heapq.heappush(heap, (nd, next(counter), nbr))
+                elif abs(nd - old) <= 1e-12 and sw not in parents.get(nbr, ()):
+                    parents.setdefault(nbr, []).append(sw)
+        return SSSPTree(source=source, dist=dist, parents=parents)
+
     def shortest_switch_path(
         self,
         src: str,
         dst: str,
         rng: Optional[random.Random] = None,
         link_costs: Optional[Dict[FrozenSet[PortRef], float]] = None,
+        tree: Optional[SSSPTree] = None,
     ) -> Optional[List[str]]:
         """One shortest switch sequence from ``src`` to ``dst``.
 
@@ -335,8 +425,17 @@ class Topology:
         which is exactly how the paper's controller generates different
         shortest paths for load balancing (Section 4.3).  ``link_costs``
         lets the path-graph generator inflate primary-path links when it
-        computes the backup path.
+        computes the backup path.  ``tree`` short-circuits the Dijkstra
+        run with a precomputed :meth:`sssp_tree` rooted at ``src``; the
+        caller guarantees the tree was built on this topology with the
+        same ``link_costs``.
         """
+        if tree is not None:
+            if tree.source != src:
+                raise TopologyError(
+                    f"precomputed tree is rooted at {tree.source!r}, not {src!r}"
+                )
+            return tree.path_to(dst, rng=rng)
         if src not in self._switch_ports or dst not in self._switch_ports:
             return None
         if src == dst:
