@@ -32,9 +32,10 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
 
 from repro.core.fabric import DumbNetFabric
 from repro.core.packet import Packet
+from repro.core.telemetry import StatsSwitch
 from repro.faultinject.smoke import run_once
 from repro.netsim import Channel, Device, EventLoop
-from repro.topology import cube
+from repro.topology import cube, leaf_spine
 
 from _util import REPO_ROOT, publish_json
 
@@ -180,6 +181,45 @@ def bench_fig8a_point(n_switches: int) -> dict:
     }
 
 
+def bench_obs_snapshot(seed: int = 7) -> dict:
+    """Run an obs-enabled fabric through traffic plus a link flap and
+    persist the full ``fabric.observe()`` snapshot (CI uploads it as an
+    artifact).  Returns timing plus headline sizes so the main payload
+    records that the snapshot was non-trivial."""
+    topo = leaf_spine(2, 3, 2, num_ports=16)
+    fabric = DumbNetFabric.from_topology(
+        topo,
+        bootstrap="blueprint",
+        warm=True,
+        controller_host=sorted(topo.hosts)[0],
+        seed=seed,
+        switch_cls=StatsSwitch,
+        obs=True,
+    )
+    link = sorted(topo.links, key=lambda l: str(l.key()))[0]
+    fabric.fail_link(link)
+    fabric.run_until_idle()
+    fabric.restore_link(link)
+    fabric.run_until_idle()
+    t0 = time.perf_counter()
+    observation = fabric.observe()
+    snapshot_wall = time.perf_counter() - t0
+    snapshot = observation.as_dict()
+    path = publish_json("obs_snapshot", snapshot)
+    metrics = snapshot["metrics"] or {}
+    return {
+        "seed": seed,
+        "snapshot_wall_s": round(snapshot_wall, 6),
+        "snapshot_path": os.path.relpath(path, REPO_ROOT),
+        "metrics": len(metrics),
+        "histograms": sum(
+            1 for m in metrics.values() if m.get("type") == "histogram"
+        ),
+        "switches": len(snapshot["switches"]),
+        "events_run": fabric.loop.events_run,
+    }
+
+
 def bench_chaos_smoke(seed: int = 42, n_faults: int = 22) -> dict:
     t0 = time.perf_counter()
     report = run_once(seed, n_faults, k=4)
@@ -223,8 +263,10 @@ def main(argv=None) -> int:
         print(f"[fig8a] {point}")
         payload["fig8a"].append(point)
     payload["chaos_smoke"] = bench_chaos_smoke()
+    payload["obs_snapshot"] = bench_obs_snapshot()
 
-    for key in ("eventloop", "cancel_churn", "channel", "chaos_smoke"):
+    for key in ("eventloop", "cancel_churn", "channel", "chaos_smoke",
+                "obs_snapshot"):
         print(f"[{key}] {payload[key]}")
     publish_json(
         "bench_netsim", payload,
@@ -243,6 +285,9 @@ def main(argv=None) -> int:
         return 1
     if not payload["chaos_smoke"]["ok"]:
         print("FAIL: chaos smoke found violations")
+        return 1
+    if payload["obs_snapshot"]["histograms"] < 1:
+        print("FAIL: obs snapshot carried no populated metrics")
         return 1
     return 0
 

@@ -468,7 +468,9 @@ class Controller(HostAgent):
             # heal (another reprobe, a deferred flap alarm), so retry.
             self._maybe_retry_reprobe(switch, port, attempt)
             return
-        session = _ReprobeSession(switch=switch, port=port, attempt=attempt)
+        session = _ReprobeSession(
+            switch=switch, port=port, attempt=attempt, started_at=self.loop.now
+        )
         self._reprobes[(switch, port)] = session
         self.reprobes_run += 1
         max_ports = self.view.num_ports(switch)
@@ -551,6 +553,10 @@ class Controller(HostAgent):
         self, switch: str, port: int, host: Optional[str], keep_link: bool = False
     ) -> None:
         session = self._reprobes.pop((switch, port), None)
+        if session is not None and self.obs is not None:
+            # Simulated duration of one reprobe session (stage 1 + the
+            # optional verification stage), retries excluded.
+            self.obs.reprobe_latency.observe(self.loop.now - session.started_at)
         if host is None and not keep_link:
             # Nothing confirmed behind the port.  Either it is really
             # empty, or every probe of this session was lost (lossy
@@ -620,6 +626,7 @@ class _ReprobeSession:
     switch: str
     port: int
     attempt: int = 0
+    started_at: float = 0.0
     host_nonce: int = -1
     bounce_nonces: Dict[int, int] = field(default_factory=dict)
     verify_nonces: Dict[int, Tuple[int, str]] = field(default_factory=dict)

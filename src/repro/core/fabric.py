@@ -13,18 +13,41 @@ through it.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..netsim.device import Device
 from ..netsim.network import LinkSpec, Network
 from ..netsim.trace import Tracer
-from ..topology.graph import Topology
+from ..obs.fabric import FabricObs, Observation, observe_fabric
+from ..topology.graph import Link, Topology
 from .controller import Controller, ControllerConfig
 from .discovery import DiscoveryResult
 from .host_agent import AgentConfig, HostAgent
 from .switch import DumbSwitch
 
 __all__ = ["DumbNetFabric"]
+
+#: What fail_link/restore_link accept besides the legacy 4-positional
+#: form: a topology Link, a ((sw, port), (sw, port)) endpoint pair, or
+#: a flat (sw, port, sw, port) tuple.
+EdgeLike = Union[Link, Tuple]
+
+
+def _edge_args(edge: EdgeLike) -> Tuple[str, int, str, int]:
+    """Normalize an edge designator to (sw_a, port_a, sw_b, port_b)."""
+    if isinstance(edge, Link):
+        return (edge.a.switch, edge.a.port, edge.b.switch, edge.b.port)
+    if isinstance(edge, tuple):
+        if len(edge) == 4:
+            sw_a, port_a, sw_b, port_b = edge
+            return (sw_a, int(port_a), sw_b, int(port_b))
+        if len(edge) == 2:
+            (sw_a, port_a), (sw_b, port_b) = edge
+            return (sw_a, int(port_a), sw_b, int(port_b))
+    raise TypeError(
+        f"expected a Link, (sw, port, sw, port), or ((sw, port), (sw, port)); "
+        f"got {edge!r}"
+    )
 
 
 class DumbNetFabric:
@@ -34,6 +57,7 @@ class DumbNetFabric:
         self,
         topology: Topology,
         controller_host: Optional[str] = None,
+        *,
         agent_config: Optional[AgentConfig] = None,
         controller_config: Optional[ControllerConfig] = None,
         link_spec: Optional[LinkSpec] = None,
@@ -42,10 +66,20 @@ class DumbNetFabric:
         tracer: Optional[Tracer] = None,
         notify_script_delay_s: float = 0.0,
         switch_cls: Optional[type] = None,
+        obs: Union[bool, FabricObs] = False,
     ) -> None:
-        """``switch_cls`` swaps the switch implementation (default
+        """Everything after ``controller_host`` is keyword-only: the
+        tail is long, all-optional, and call sites that spelled the
+        keywords out are unaffected.
+
+        ``switch_cls`` swaps the switch implementation (default
         :class:`~repro.core.switch.DumbSwitch`); any subclass with the
         same constructor works, e.g. :class:`~repro.core.ecn.EcnSwitch`.
+
+        ``obs`` enables the observability layer: ``True`` builds a
+        default :class:`~repro.obs.fabric.FabricObs` hub, or pass a
+        pre-configured instance.  Off (the default) the fabric pays
+        nothing beyond dormant ``is not None`` gates.
         """
         if not topology.hosts:
             raise ValueError("a DumbNet fabric needs at least one host")
@@ -105,6 +139,59 @@ class DumbNetFabric:
             tracer=self.tracer,
         )
 
+        self.obs: Optional[FabricObs] = None
+        if obs:
+            self.obs = obs if isinstance(obs, FabricObs) else FabricObs()
+            self.obs.attach(self)
+
+    # ------------------------------------------------------------------
+    # construction conveniences
+
+    @classmethod
+    def from_topology(
+        cls,
+        topology: Topology,
+        *,
+        bootstrap: Optional[str] = "discover",
+        warm: bool = False,
+        **kwargs,
+    ) -> "DumbNetFabric":
+        """Build a fabric and bring it live in one call.
+
+        ``bootstrap`` picks how the controller gets its view:
+        ``"discover"`` probes the fabric (:meth:`bootstrap`),
+        ``"blueprint"`` adopts the ground-truth topology
+        (:meth:`adopt_blueprint`), ``None`` leaves the fabric cold.
+        ``warm`` additionally pre-populates every pair's path cache.
+        Remaining keyword arguments go to the constructor.
+        """
+        fabric = cls(topology, **kwargs)
+        if bootstrap == "discover":
+            fabric.bootstrap()
+        elif bootstrap == "blueprint":
+            fabric.adopt_blueprint()
+        elif bootstrap is not None:
+            raise ValueError(
+                f"bootstrap must be 'discover', 'blueprint', or None; "
+                f"got {bootstrap!r}"
+            )
+        if warm:
+            if bootstrap is None:
+                raise ValueError("warm=True needs a bootstrapped fabric")
+            fabric.warm_paths()
+        return fabric
+
+    # ------------------------------------------------------------------
+    # observability
+
+    def observe(self) -> Observation:
+        """A read-only snapshot of every observable counter and metric.
+
+        Works on any fabric; live histograms/flight-recorder data are
+        present when the fabric was built with ``obs``.
+        """
+        return observe_fabric(self)
+
     # ------------------------------------------------------------------
 
     def bootstrap(self) -> DiscoveryResult:
@@ -127,7 +214,7 @@ class DumbNetFabric:
     def warm_paths(self, pairs: Optional[List[Tuple[str, str]]] = None) -> None:
         """Pre-populate path caches for host pairs (default: all pairs).
 
-        Sends a zero-byte probe message through the normal send path so
+        Sends a one-byte warm-up message through the normal send path so
         every pair has its PathTable entry before measurement starts.
         """
         hosts = self.topology.hosts
@@ -163,6 +250,8 @@ class DumbNetFabric:
 
         device = self.network.hotplug_host(host, switch, port, factory)
         assert isinstance(device, HostAgent)
+        if self.obs is not None:
+            self.obs.attach_hotplug(device, self.network.host_channel(host))
         return device
 
     # ------------------------------------------------------------------
@@ -185,11 +274,46 @@ class DumbNetFabric:
     def run_until_idle(self, max_events: int = 50_000_000) -> int:
         return self.network.run_until_idle(max_events=max_events)
 
-    def fail_link(self, sw_a: str, port_a: int, sw_b: str, port_b: int) -> None:
-        self.network.fail_link(sw_a, port_a, sw_b, port_b)
+    def fail_link(
+        self,
+        edge: Union[EdgeLike, str],
+        port_a: Optional[int] = None,
+        sw_b: Optional[str] = None,
+        port_b: Optional[int] = None,
+    ) -> None:
+        """Cut a switch-switch cable.
 
-    def restore_link(self, sw_a: str, port_a: int, sw_b: str, port_b: int) -> None:
-        self.network.restore_link(sw_a, port_a, sw_b, port_b)
+        Takes a topology :class:`~repro.topology.graph.Link`, a
+        ``(sw, port, sw, port)`` tuple, or a pair of ``(sw, port)``
+        endpoints; the legacy 4-positional-argument form still works.
+        """
+        self.network.fail_link(*self._edge(edge, port_a, sw_b, port_b))
+
+    def restore_link(
+        self,
+        edge: Union[EdgeLike, str],
+        port_a: Optional[int] = None,
+        sw_b: Optional[str] = None,
+        port_b: Optional[int] = None,
+    ) -> None:
+        """Restore a cut cable; accepts the same forms as :meth:`fail_link`."""
+        self.network.restore_link(*self._edge(edge, port_a, sw_b, port_b))
+
+    @staticmethod
+    def _edge(
+        edge: Union[EdgeLike, str],
+        port_a: Optional[int],
+        sw_b: Optional[str],
+        port_b: Optional[int],
+    ) -> Tuple[str, int, str, int]:
+        if port_a is None and sw_b is None and port_b is None:
+            return _edge_args(edge)  # type: ignore[arg-type]
+        if port_a is None or sw_b is None or port_b is None:
+            raise TypeError(
+                "pass a single edge designator or all four of "
+                "(sw_a, port_a, sw_b, port_b)"
+            )
+        return (edge, port_a, sw_b, port_b)  # type: ignore[return-value]
 
     def fail_switch(self, switch: str) -> None:
         self.network.fail_switch(switch)

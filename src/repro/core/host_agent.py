@@ -131,6 +131,11 @@ class HostAgent(Device):
         self._pending_sends: Dict[str, List[Tuple[Any, int, object]]] = {}
         self._path_requests: Dict[str, Tuple[int, int]] = {}  # dst -> (nonce, tries)
 
+        # Observability hub (set by FabricObs.attach); None costs one
+        # check at the few gated call sites, like the tracer gates.
+        self.obs = None
+        self._obs_query_t0: Dict[str, float] = {}
+
         # Application delivery.
         self.app_receive: Optional[Callable[[str, Any, float], None]] = None
         self.delivered: List[Tuple[float, str, Any]] = []
@@ -223,6 +228,8 @@ class HostAgent(Device):
             return  # bootstrap not finished; pending sends flush on announce
         nonce = next_nonce()
         self._path_requests[dst] = (nonce, 0)
+        if self.obs is not None:
+            self._obs_query_t0[dst] = self.loop.now
         self._send_path_request(dst, nonce)
 
     def _request_timeout(self, tries: int) -> float:
@@ -255,6 +262,7 @@ class HostAgent(Device):
             # sends queued behind it; a later send_app starts afresh.
             del self._path_requests[dst]
             self._pending_sends.pop(dst, None)
+            self._obs_query_t0.pop(dst, None)
             self.path_queries_abandoned += 1
             return
         new_nonce = next_nonce()
@@ -482,6 +490,12 @@ class HostAgent(Device):
         state = self._path_requests.pop(reply.dst, None)
         if state is None:
             return
+        if self.obs is not None:
+            t0 = self._obs_query_t0.pop(reply.dst, None)
+            if t0 is not None:
+                # Simulated round-trip of the controller path query,
+                # retries included (Figure 10's long-tail component).
+                self.obs.query_latency.observe(self.loop.now - t0)
         if not reply.found:
             self._pending_sends.pop(reply.dst, None)
             return
@@ -521,6 +535,9 @@ class HostAgent(Device):
             except Exception:
                 backup = None
         if primaries or backup:
+            if self.obs is not None:
+                for path in primaries:
+                    self.obs.path_tags.observe(len(path.tags))
             self.path_table.install(dst, primaries, backup)
 
     def _flush_pending(self, dst: str) -> None:

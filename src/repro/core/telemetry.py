@@ -16,10 +16,12 @@ tag-routed probes: no switch configuration, no polling agents on boxes.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..netsim.network import Network
+from ..obs.report import ReportBase
 from .controller import Controller
 from .discovery import ProbeSpec, route_tags
 from .messages import SwitchIDReply
@@ -105,14 +107,58 @@ class StatsSwitch(DumbSwitch):
 
 
 @dataclass
-class FabricReport:
+class FabricReport(ReportBase):
     """Fabric-wide counter snapshot, one row per switch."""
 
     rows: Dict[str, Tuple[Tuple[str, int], ...]] = field(default_factory=dict)
     unreachable: List[str] = field(default_factory=list)
     #: The controller's path-service counters (cache hits/misses/
     #: evictions, SSSP tree reuse) at collection time.
-    controller_cache: Dict[str, int] = field(default_factory=dict)
+    path_service: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def controller_cache(self) -> Dict[str, int]:
+        """Deprecated alias of :attr:`path_service`."""
+        warnings.warn(
+            "FabricReport.controller_cache is deprecated; use "
+            "FabricReport.path_service",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.path_service
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "fabric-report",
+            "switches": {
+                switch: dict(counters)
+                for switch, counters in sorted(self.rows.items())
+            },
+            "unreachable": sorted(self.unreachable),
+            "path_service": dict(self.path_service),
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"switches polled:    {len(self.rows)}",
+            f"unreachable:        {len(self.unreachable)}"
+            + (f" ({', '.join(sorted(self.unreachable))})"
+               if self.unreachable else ""),
+            f"frames forwarded:   {self.total('forwarded')}",
+            f"frames dropped:     "
+            f"{self.total('dropped_bad_tag') + self.total('dropped_dead_port')}",
+        ]
+        if self.path_service:
+            ps = self.path_service
+            lines.append(
+                "path service:       "
+                f"{ps.get('hits', 0)} hits / {ps.get('misses', 0)} misses"
+            )
+        hottest = self.hottest_ports(3)
+        if hottest:
+            hot = ", ".join(f"{sw}:{port}={tx}" for sw, port, tx in hottest)
+            lines.append(f"hottest ports:      {hot}")
+        return "\n".join(lines)
 
     def total(self, counter: str) -> int:
         out = 0
@@ -141,17 +187,28 @@ class TelemetryCollector:
     the replies.  Requires the controller's view for routing.
     """
 
-    def __init__(self, controller: Controller, network: Network) -> None:
+    #: How long (simulated seconds) replies get to come back.  A stats
+    #: probe round-trips in well under a millisecond on any modeled
+    #: fabric; 50 ms covers deep topologies with room to spare.
+    DEFAULT_SETTLE_S = 0.05
+
+    def __init__(
+        self,
+        controller: Controller,
+        network: Network,
+        settle_s: Optional[float] = DEFAULT_SETTLE_S,
+    ) -> None:
         if controller.view is None:
             raise RuntimeError("telemetry needs a bootstrapped controller")
         self.controller = controller
         self.network = network
+        self.settle_s = settle_s
 
     def collect(self) -> FabricReport:
         view = self.controller.view
         assert view is not None
         report = FabricReport(
-            controller_cache=self.controller.path_service.stats.as_dict()
+            path_service=self.controller.path_service.stats.as_dict()
         )
         pending: Dict[int, str] = {}
         for switch in view.switches:
@@ -162,11 +219,25 @@ class TelemetryCollector:
             except Exception:
                 report.unreachable.append(switch)
                 continue
-            nonce = self.controller.send_probe(
-                ProbeSpec(tags=to_tags + (ID_QUERY,) + from_tags)
-            )
+            try:
+                nonce = self.controller.send_probe(
+                    ProbeSpec(tags=to_tags + (ID_QUERY,) + from_tags)
+                )
+            except Exception:
+                # The view routed us, but the probe could not leave
+                # (e.g. the controller's own NIC is down mid-chaos).
+                report.unreachable.append(switch)
+                continue
             pending[nonce] = switch
-        self.network.run_until_idle()
+        if self.settle_s is None:
+            self.network.run_until_idle()
+        else:
+            # Bounded settle window, NOT run_until_idle: a fabric with a
+            # down switch -- or any live workload/chaos timeline -- may
+            # hold self-rescheduling timers that never go idle (or only
+            # after fast-forwarding the whole experiment).  Collecting
+            # telemetry must not consume the rest of the simulation.
+            self.network.run(until=self.network.now + self.settle_s)
         for nonce, switch in pending.items():
             outcome = self.controller.collect_probe(nonce)
             if outcome is None or outcome.kind != "id":

@@ -14,7 +14,7 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.controller import Controller, ControllerConfig
 from ..core.host_agent import AgentConfig, HostAgent
@@ -22,6 +22,7 @@ from ..core.replication import ReplicatedControlPlane
 from ..core.switch import DumbSwitch
 from ..netsim.network import LinkSpec, Network
 from ..netsim.trace import Tracer
+from ..obs.report import ReportBase
 from ..topology.graph import Topology
 from .invariants import (
     Violation,
@@ -44,6 +45,10 @@ class ChaosFabric:
     controller_hosts: Tuple[str, ...]
     plane: Optional[ReplicatedControlPlane]
     tracer: Tracer
+    #: Observability hub carried over from the wrapped fabric (None
+    #: when the fabric was built without one); the runner flight-records
+    #: applied faults through it.
+    obs: Optional[Any] = None
 
     @property
     def controller(self) -> Controller:
@@ -69,6 +74,7 @@ class ChaosFabric:
             controller_hosts=(fabric.controller_host,),
             plane=None,
             tracer=fabric.tracer,
+            obs=getattr(fabric, "obs", None),
         )
 
 
@@ -149,7 +155,7 @@ def build_chaos_fabric(
 
 
 @dataclass
-class ChaosReport:
+class ChaosReport(ReportBase):
     """What a chaos run did and what it found."""
 
     applied: List[str] = field(default_factory=list)
@@ -171,6 +177,24 @@ class ChaosReport:
 
     def ok(self) -> bool:
         return not self.violations and not self.failed_pairs
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "chaos-report",
+            "ok": self.ok(),
+            "applied": list(self.applied),
+            "violations": [str(v) for v in self.violations],
+            "checks_run": self.checks_run,
+            "traffic_sent": self.traffic_sent,
+            "traffic_delivered": self.traffic_delivered,
+            "reconnected_pairs": self.reconnected_pairs,
+            "failed_pairs": [list(pair) for pair in self.failed_pairs],
+            "horizon": self.horizon,
+            "quiesce_time": self.quiesce_time,
+            "events_run": self.events_run,
+            "path_service": dict(self.path_service),
+            "timeline_digest": self.timeline_digest(),
+        }
 
     def timeline_digest(self) -> str:
         """sha256 over the applied-fault lines: byte-for-byte equal
@@ -248,6 +272,12 @@ class ChaosRunner:
         if event.resolver is not None:
             args = tuple(event.resolver(self.fabric))
         self.report.applied.append(event.describe(args))
+        obs = self.fabric.obs
+        if obs is not None:
+            obs.recorder.record(
+                self.fabric.loop.now, "fault-applied", event.kind,
+                event.describe(args),
+            )
         network = self.fabric.network
         kind = event.kind
         if kind == "link-down":

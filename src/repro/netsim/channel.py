@@ -112,6 +112,9 @@ class Channel:
         self.frames_dropped = 0
         self.frames_duplicated = 0
         self._stats: Optional[PerfCounters] = None
+        # Obs-layer queueing-delay histogram (anything with observe());
+        # gated exactly like _stats: one check per frame when disabled.
+        self._obs_wait: Optional[Any] = None
         # Pre-bound delivery callback: binding a method allocates, and
         # the transmit fast path schedules one delivery per frame.
         self._deliver_cb = self._deliver
@@ -169,6 +172,10 @@ class Channel:
     def enable_counters(self, stats: PerfCounters) -> None:
         self._stats = stats
 
+    def enable_obs(self, wait_histogram: Any) -> None:
+        """Record per-frame queueing delay into an obs histogram."""
+        self._obs_wait = wait_histogram
+
     # ------------------------------------------------------------------
 
     def transmit(self, sender: ChannelEnd, packet: Any, size_bits: float) -> bool:
@@ -198,6 +205,9 @@ class Channel:
                 stats.frames += 1
                 stats.bits += size_bits
                 stats.wait_s += start - now
+            obs = self._obs_wait
+            if obs is not None:
+                obs.observe(start - now)
             # Inlined EventLoop.call_at -- this push is the single
             # hottest line of the emulator.
             seq = loop._seq
@@ -245,6 +255,9 @@ class Channel:
             stats.frames += 1
             stats.bits += size_bits
             stats.wait_s += start - now
+        obs = self._obs_wait
+        if obs is not None:
+            obs.observe(start - now)
         self.loop.call_at(arrival, self._deliver_cb, receiver, packet)
         if self._duplicate_rate > 0 and rng is not None:
             if rng.random() < self._duplicate_rate:

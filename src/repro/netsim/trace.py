@@ -15,8 +15,11 @@ asked for.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional
+
+from ..obs.report import PerfReport
 
 __all__ = ["TraceEvent", "Tracer", "PerfCounters"]
 
@@ -65,10 +68,17 @@ class Tracer:
         self.events: List[TraceEvent] = []
         self.counters_enabled = counters_enabled
         self.counters: Dict[str, PerfCounters] = {}
+        #: Optional flight-recorder tap (anything with the same
+        #: ``record`` signature); the obs layer points this at its
+        #: bounded ring buffer.  None costs one check per traced event.
+        self.obs_sink: Optional[Any] = None
 
     def record(self, time: float, category: str, node: str, detail: Any = None) -> None:
         if self.enabled:
             self.events.append(TraceEvent(time, category, node, detail))
+        sink = self.obs_sink
+        if sink is not None:
+            sink.record(time, category, node, detail)
 
     def clear(self) -> None:
         self.events.clear()
@@ -83,12 +93,23 @@ class Tracer:
             bucket = self.counters[label] = PerfCounters()
         return bucket
 
-    def counter_report(self) -> Dict[str, Dict[str, float]]:
-        """All buckets as plain dicts, sorted by label -- JSON-ready."""
-        return {
+    def report(self) -> PerfReport:
+        """All profiling buckets behind the common report protocol
+        (``.counters`` is the old label -> plain-dict mapping)."""
+        return PerfReport({
             label: self.counters[label].as_dict()
             for label in sorted(self.counters)
-        }
+        })
+
+    def counter_report(self) -> Dict[str, Dict[str, float]]:
+        """Deprecated: use :meth:`report` (``.counters``)."""
+        warnings.warn(
+            "Tracer.counter_report() is deprecated; use "
+            "Tracer.report().counters",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.report().counters
 
     # ------------------------------------------------------------------
     # queries

@@ -1,0 +1,185 @@
+"""Exporters: JSON, Prometheus text exposition, and CLI tables.
+
+One snapshot (:class:`~repro.obs.fabric.Observation`), three renderers.
+The Prometheus output follows the text exposition format version 0.0.4
+(``# TYPE`` lines, ``_bucket``/``_sum``/``_count`` histogram series
+with cumulative ``le`` labels); :func:`parse_prometheus` is a small
+strict validator CI uses to prove the output actually parses.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..analysis.tables import render_table
+from .metrics import Histogram
+
+__all__ = [
+    "Sample",
+    "metric_name",
+    "format_labels",
+    "to_prometheus",
+    "parse_prometheus",
+    "to_table",
+]
+
+Labels = Tuple[Tuple[str, str], ...]
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_CLEAN = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: One scalar exposition sample: (name, labels, value, type).
+Sample = Tuple[str, Labels, float, str]
+
+
+def metric_name(*parts: str) -> str:
+    """Join name parts into a valid Prometheus metric name."""
+    name = _NAME_CLEAN.sub("_", "_".join(p for p in parts if p))
+    if not name or name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r'\"')
+
+
+def format_labels(labels: Labels) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(str(v))}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    return repr(float(value))
+
+
+def to_prometheus(
+    samples: Sequence[Sample],
+    histograms: Sequence[Tuple[str, Labels, Histogram]] = (),
+) -> str:
+    """Render scalar samples + histograms as exposition text."""
+    lines: List[str] = []
+    typed: set = set()
+    for name, labels, value, kind in samples:
+        if not _NAME_OK.match(name):
+            raise ValueError(f"bad metric name {name!r}")
+        if name not in typed:
+            lines.append(f"# TYPE {name} {kind}")
+            typed.add(name)
+        lines.append(f"{name}{format_labels(labels)} {_format_value(value)}")
+    for name, labels, hist in histograms:
+        if not _NAME_OK.match(name):
+            raise ValueError(f"bad metric name {name!r}")
+        if name not in typed:
+            lines.append(f"# TYPE {name} histogram")
+            typed.add(name)
+        base = dict(labels)
+        for upper, cumulative in hist.buckets():
+            bucket_labels = tuple(base.items()) + (("le", _format_value(upper)),)
+            lines.append(
+                f"{name}_bucket{format_labels(bucket_labels)} {cumulative}"
+            )
+        inf_labels = tuple(base.items()) + (("le", "+Inf"),)
+        lines.append(f"{name}_bucket{format_labels(inf_labels)} {hist.count}")
+        lines.append(f"{name}_sum{format_labels(labels)} {_format_value(hist.total)}")
+        lines.append(f"{name}_count{format_labels(labels)} {hist.count}")
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r"\s+(?P<value>[^\s]+)$"
+)
+_LABEL_PAIR = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def parse_prometheus(text: str) -> Dict[str, int]:
+    """Strictly validate exposition text; returns samples-per-metric.
+
+    Raises :class:`ValueError` on the first malformed line.  Checks the
+    pieces a real scraper would: name charset, label syntax, numeric
+    values (``+Inf``/``-Inf``/``NaN`` allowed), ``# TYPE`` declarations
+    naming a known type, and histogram ``_count`` == the +Inf bucket.
+    """
+    counts: Dict[str, int] = {}
+    inf_buckets: Dict[Tuple[str, frozenset], float] = {}
+    hist_counts: Dict[Tuple[str, frozenset], float] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"
+                ):
+                    raise ValueError(f"line {lineno}: bad TYPE line {line!r}")
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: unparseable sample {line!r}")
+        labels: Dict[str, str] = {}
+        labels_text = match.group("labels")
+        if labels_text is not None:
+            inner = labels_text[1:-1]
+            if inner:
+                for pair in inner.split(","):
+                    if not _LABEL_PAIR.match(pair):
+                        raise ValueError(
+                            f"line {lineno}: bad label pair {pair!r}"
+                        )
+                    key, _, quoted = pair.partition("=")
+                    labels[key] = quoted[1:-1]
+        raw_value = match.group("value")
+        if raw_value in ("+Inf", "-Inf", "NaN"):
+            value = {"+Inf": math.inf, "-Inf": -math.inf}.get(raw_value, math.nan)
+        else:
+            try:
+                value = float(raw_value)
+            except ValueError:
+                raise ValueError(
+                    f"line {lineno}: bad value {raw_value!r}"
+                ) from None
+        name = match.group("name")
+        counts[name] = counts.get(name, 0) + 1
+        if name.endswith("_bucket") and labels.get("le") == "+Inf":
+            base = name[: -len("_bucket")]
+            rest = frozenset((k, v) for k, v in labels.items() if k != "le")
+            inf_buckets[(base, rest)] = value
+        elif name.endswith("_count"):
+            base = name[: -len("_count")]
+            hist_counts[(base, frozenset(labels.items()))] = value
+    for key, inf_value in inf_buckets.items():
+        expected = hist_counts.get(key)
+        if expected is not None and expected != inf_value:
+            raise ValueError(
+                f"histogram {key[0]}: +Inf bucket {inf_value} != "
+                f"_count {expected}"
+            )
+    return counts
+
+
+def to_table(
+    sections: Mapping[str, Iterable[Sequence[object]]],
+    headers: Mapping[str, Sequence[str]],
+    title: Optional[str] = None,
+) -> str:
+    """Multiple named fixed-width tables stacked into one CLI block."""
+    blocks: List[str] = []
+    if title:
+        blocks.append(title)
+    for section, rows in sections.items():
+        rows = list(rows)
+        if not rows:
+            continue
+        blocks.append(render_table(headers[section], rows, title=f"[{section}]"))
+    return "\n\n".join(blocks)

@@ -1,0 +1,81 @@
+"""A bounded flight recorder: the last N events per category.
+
+The tracer's append-only log is perfect for offline figure slicing but
+unbounded; long chaos runs would hold millions of rows just to answer
+"what happened recently?".  The :class:`FlightRecorder` keeps a fixed
+ring per category (failure broadcasts, applied faults, controller
+patches...), always cheap, always fresh -- the thing a live dashboard
+reads.
+
+The ``record`` signature matches :meth:`repro.netsim.trace.Tracer.
+record` so a recorder can be plugged straight in as the tracer's obs
+sink.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+__all__ = ["FlightRecorder"]
+
+#: (time, node, detail) -- what one ring slot holds.
+Entry = Tuple[float, str, Any]
+
+
+class FlightRecorder:
+    """Per-category ring buffers with total-seen counts."""
+
+    __slots__ = ("capacity", "_rings", "_seen")
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self.capacity = capacity
+        self._rings: Dict[str, Deque[Entry]] = {}
+        self._seen: Dict[str, int] = {}
+
+    def record(self, time: float, category: str, node: str, detail: Any = None) -> None:
+        ring = self._rings.get(category)
+        if ring is None:
+            ring = self._rings[category] = deque(maxlen=self.capacity)
+            self._seen[category] = 0
+        ring.append((time, node, detail))
+        self._seen[category] += 1
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def categories(self) -> List[str]:
+        return sorted(self._rings)
+
+    def seen(self, category: str) -> int:
+        """Total events ever recorded in a category (ring may hold fewer)."""
+        return self._seen.get(category, 0)
+
+    def last(self, category: str, n: Optional[int] = None) -> List[Entry]:
+        ring = self._rings.get(category)
+        if ring is None:
+            return []
+        entries = list(ring)
+        return entries if n is None else entries[-n:]
+
+    def clear(self) -> None:
+        self._rings.clear()
+        self._seen.clear()
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "capacity": self.capacity,
+            "categories": {
+                category: {
+                    "seen": self._seen[category],
+                    "held": len(ring),
+                    "last": [
+                        {"time": t, "node": node, "detail": str(detail)}
+                        for t, node, detail in list(ring)[-8:]
+                    ],
+                }
+                for category, ring in sorted(self._rings.items())
+            },
+        }

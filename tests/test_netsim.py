@@ -552,7 +552,7 @@ class TestPerfCounters:
         net = Network(line(2, hosts_per_switch=1), sw, host, tracer=tracer)
         net.hosts["hL0_0"].send(1, FakeFrame())
         net.run_until_idle()
-        report = tracer.counter_report()
+        report = tracer.report().counters
         assert any(label.startswith("device:") for label in report)
         assert any(label.startswith("link:") for label in report)
         assert any(label.startswith("nic:") for label in report)

@@ -273,8 +273,8 @@ class TestControllerWiring:
         report = TelemetryCollector(
             fabric.controller, fabric.network
         ).collect()
-        assert report.controller_cache  # populated dict
-        assert report.controller_cache["misses"] >= 1
-        assert set(report.controller_cache) == set(
+        assert report.path_service  # populated dict
+        assert report.path_service["misses"] >= 1
+        assert set(report.path_service) == set(
             fabric.controller.path_service.stats.as_dict()
         )

@@ -108,3 +108,38 @@ class TestTelemetryCollector:
         fabric.run_until_idle()
         second = collector.collect()
         assert second.total("forwarded") > first.total("forwarded")
+
+    def test_down_switch_marked_unreachable_not_stalled(self, fabric):
+        """Regression: collect() on a fabric with a down switch -- and
+        with live periodic work on the loop -- must return promptly with
+        the dead switch in ``unreachable`` instead of draining (or never
+        finishing) the rest of the simulation."""
+        fabric.warm_paths([("h0_1", "h1_1")])
+        fabric.fail_switch("spine1")
+        fabric.run(until=fabric.now + 0.01)
+
+        # A self-rescheduling heartbeat: run_until_idle would chase this
+        # forever (it never goes idle), which is exactly what a live
+        # dashboard polling mid-experiment looks like.
+        def heartbeat() -> None:
+            fabric.loop.call_after(0.01, heartbeat)
+
+        fabric.loop.call_after(0.0, heartbeat)
+
+        before = fabric.now
+        report = TelemetryCollector(fabric.controller, fabric.network).collect()
+        assert "spine1" in report.unreachable
+        live = set(fabric.topology.switches) - {"spine1"}
+        assert live <= set(report.rows)
+        # Bounded settle: the clock advanced by the window, not to the
+        # end of the experiment, and the heartbeat is still alive.
+        assert fabric.now <= before + TelemetryCollector.DEFAULT_SETTLE_S + 1e-9
+        assert fabric.loop.pending >= 1
+
+    def test_full_drain_mode_still_available(self, fabric):
+        collector = TelemetryCollector(
+            fabric.controller, fabric.network, settle_s=None
+        )
+        report = collector.collect()
+        assert set(report.rows) == set(fabric.topology.switches)
+        assert fabric.loop.pending == 0
