@@ -1,0 +1,170 @@
+"""Incremental rediscovery vs full re-discovery (Section 4.2).
+
+Standalone (not a pytest bench -- CI runs it directly):
+
+    PYTHONPATH=src python benchmarks/bench_rediscovery.py [--smoke]
+
+The scenario is the paper's expansion case: a discovered fat-tree gets
+one brand-new switch racked in, cabled to a handful of free ports.
+Before this PR the controller's only complete answer was a full
+O(N * P^2) ``discover()`` of the whole fabric; the incremental engine
+(:mod:`repro.core.rediscovery`) BFS-expands from just the dirty
+frontier ports instead.
+
+Measured per topology, on the oracle transport (exact message counts,
+modeled per-message cost -- the same accounting Figure 8 uses):
+
+* **full** -- probes and modeled time for a fresh ``discover()`` of
+  the post-join fabric,
+* **incremental** -- probes and modeled time for expanding the
+  pre-join view from the ports that got new cables,
+* **ratio** -- full/incremental probe counts; the acceptance floor is
+  >= 10x for a single-switch join on fat-tree(8),
+* **equivalence** -- the expanded view must be ``same_wiring`` with a
+  fresh full discovery (asserted, not reported).
+
+Results land in ``BENCH_rediscovery.json`` at the repo root alongside
+the other CI bench artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.core.discovery import OracleProbeTransport, discover
+from repro.core.rediscovery import incremental_discover
+from repro.topology.fattree import fat_tree
+
+from _util import REPO_ROOT, publish_json
+
+#: Acceptance floor: incremental must beat full by at least this factor
+#: on the single-switch-join scenario (ISSUE 5 acceptance criteria).
+MIN_PROBE_RATIO = 10.0
+
+#: Cables from the new switch into the fabric per join.
+JOIN_CABLES = 4
+
+
+def _free_ports(topo, limit):
+    """(switch, port) pairs with nothing plugged in, spread over
+    distinct switches first."""
+    free = []
+    taken_switches = set()
+    for sw in topo.switches:
+        for p in range(1, topo.num_ports(sw) + 1):
+            if topo.peer(sw, p) is None and sw not in taken_switches:
+                free.append((sw, p))
+                taken_switches.add(sw)
+                break
+        if len(free) >= limit:
+            return free
+    for sw in topo.switches:
+        for p in range(1, topo.num_ports(sw) + 1):
+            if topo.peer(sw, p) is None and (sw, p) not in free:
+                free.append((sw, p))
+                if len(free) >= limit:
+                    return free
+    return free
+
+
+def run_case(label: str, k: int, num_ports: int) -> dict:
+    truth = fat_tree(k, num_ports=num_ports)
+    origin = truth.hosts[0]
+
+    # Bootstrap: one full discovery of the pre-join fabric.
+    boot = discover(OracleProbeTransport(truth, origin=origin), origin)
+    assert boot.view.same_wiring(truth)
+
+    # The join: one new switch, JOIN_CABLES cables into free ports.
+    truth_joined = truth.copy()
+    new_switch = "joined0"
+    truth_joined.add_switch(new_switch, num_ports)
+    frontiers = _free_ports(truth, JOIN_CABLES)
+    assert len(frontiers) == JOIN_CABLES, (
+        f"{label}: need {JOIN_CABLES} free ports, found {len(frontiers)} "
+        f"(raise num_ports)"
+    )
+    for i, (sw, p) in enumerate(frontiers, start=1):
+        truth_joined.add_link(sw, p, new_switch, i)
+
+    # Full re-discovery of the post-join fabric (the old answer).
+    full_transport = OracleProbeTransport(truth_joined, origin=origin)
+    full = discover(full_transport, origin)
+    assert full.view.same_wiring(truth_joined)
+
+    # Incremental expansion from exactly the newly cabled ports.
+    inc_transport = OracleProbeTransport(truth_joined, origin=origin)
+    view = boot.view.copy()
+    inc = incremental_discover(inc_transport, origin, view, frontiers)
+
+    assert inc.view.same_wiring(full.view), (
+        f"{label}: incremental view diverged from full discovery"
+    )
+    assert inc.switches_added == [new_switch]
+
+    ratio = full.stats.probes_sent / max(1, inc.stats.probes_sent)
+    return {
+        "topology": label,
+        "switches": len(truth_joined.switches),
+        "links": len(truth_joined.links),
+        "join_cables": JOIN_CABLES,
+        "full_probes": full.stats.probes_sent,
+        "full_elapsed_s": full.stats.elapsed_s,
+        "incremental_probes": inc.stats.probes_sent,
+        "incremental_rounds": inc.stats.rounds,
+        "incremental_elapsed_s": inc.stats.elapsed_s,
+        "incremental_changes": len(inc.changes),
+        "max_frontier_depth": inc.max_frontier_depth,
+        "probe_ratio": round(ratio, 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small topology + floor check only (CI mode)",
+    )
+    args = parser.parse_args(argv)
+
+    # num_ports exceeds k so the fabric has free ports to cable the
+    # newcomer into (a default fat-tree is fully wired).
+    if args.smoke:
+        cases = [("fat_tree_4", 4, 6)]
+    else:
+        cases = [("fat_tree_4", 4, 6), ("fat_tree_8", 8, 10)]
+
+    rows = [run_case(label, k, ports) for label, k, ports in cases]
+    payload = {
+        "kind": "bench-rediscovery",
+        "min_probe_ratio": MIN_PROBE_RATIO,
+        "cases": rows,
+    }
+    publish_json(
+        "bench_rediscovery",
+        payload,
+        path=os.path.join(REPO_ROOT, "BENCH_rediscovery.json"),
+    )
+
+    failed = False
+    for row in rows:
+        status = "ok" if row["probe_ratio"] >= MIN_PROBE_RATIO else "BELOW FLOOR"
+        print(
+            f"{row['topology']:>12}: full {row['full_probes']:>8} probes, "
+            f"incremental {row['incremental_probes']:>5} probes "
+            f"({row['incremental_rounds']} rounds, depth "
+            f"{row['max_frontier_depth']}) -> {row['probe_ratio']:.1f}x "
+            f"[{status}]"
+        )
+        if row["probe_ratio"] < MIN_PROBE_RATIO:
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,6 +35,10 @@ def apply_change(view: Topology, change: TopologyChange) -> None:
             return
         if view.peer(sw_a, port_a) is None and view.peer(sw_b, port_b) is None:
             view.add_link(sw_a, port_a, sw_b, port_b)
+    elif change.op == "switch-up":
+        switch, num_ports = change.args
+        if not view.has_switch(switch):
+            view.add_switch(switch, num_ports)
     elif change.op == "switch-down":
         (switch,) = change.args
         if view.has_switch(switch):

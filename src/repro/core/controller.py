@@ -41,6 +41,7 @@ from .messages import (
 )
 from .packet import ID_QUERY
 from .pathservice import PathService
+from .rediscovery import AsyncProbeDriver, RediscoveryEngine
 
 __all__ = ["Controller", "ControllerConfig"]
 
@@ -73,6 +74,10 @@ class ControllerConfig(AgentConfig):
     reprobe_retries: int = 2
     #: Bound on the path service's path-graph LRU cache (entries).
     path_cache_capacity: int = 512
+    #: Outstanding-probe window for incremental rediscovery rounds: an
+    #: unknown-switch escalation sends at most this many probes per
+    #: settle period (clamped up so one full port scan always fits).
+    rediscovery_window: int = 128
 
 
 class Controller(HostAgent):
@@ -107,6 +112,9 @@ class Controller(HostAgent):
         self.replicator = None
         #: Pending link-up reprobe sessions.
         self._reprobes: Dict[Tuple[str, int], "_ReprobeSession"] = {}
+        #: In-flight incremental rediscovery drivers (unknown-switch
+        #: escalations); drained by the event loop, tracked for tests.
+        self._rediscoveries: Set[AsyncProbeDriver] = set()
         #: Bumped by every announce_all so a stale retry chain from an
         #: earlier announcement round cannot race a newer one.
         self._announce_epoch = 0
@@ -116,6 +124,9 @@ class Controller(HostAgent):
         self.reprobes_run = 0
         self.reprobes_retried = 0
         self.announces_retried = 0
+        self.rediscoveries_run = 0
+        self.rediscovery_probes_sent = 0
+        self.rediscovery_rounds = 0
 
     # ------------------------------------------------------------------
     # bootstrap
@@ -457,7 +468,15 @@ class Controller(HostAgent):
     def _start_reprobe(self, switch: str, port: int, attempt: int = 0) -> None:
         if self.view is None or not self.view.has_switch(switch):
             return
-        if (switch, port) in self._reprobes:
+        active = self._reprobes.get((switch, port))
+        if active is not None:
+            # A link-up landed while a session for this port is already
+            # in flight.  The active session's probes race the state
+            # change, so whatever it concludes may be stale; dropping
+            # the notification here would leave the view stale forever
+            # (no further news will arrive for a port that stays up).
+            # Re-arm one follow-up reprobe to run after it finalizes.
+            active.rearm = True
             return
         if self.view.peer(switch, port) is not None:
             return  # view already has something there
@@ -534,10 +553,16 @@ class Controller(HostAgent):
             return
         r, neighbor = confirmed
         if not self.view.has_switch(neighbor):
-            # A brand-new switch appeared: give it the fabric-wide port
-            # count and let future reprobes flesh out its other links.
-            self.view.add_switch(neighbor, self.view.num_ports(switch))
-            self.path_service.flush()
+            # A brand-new switch appeared behind the port.  One
+            # confirmed cable is not a usable view of it -- its other
+            # ports may lead to more unknown hardware (a whole pod
+            # joining) -- so escalate into incremental rediscovery:
+            # BFS-expand from the newcomer's open ports, one bounded
+            # probe window per settle period, instead of waiting for
+            # link-up news that will never come for already-up ports.
+            self._escalate_rediscovery(switch, port, r, neighbor)
+            self._finalize_reprobe(switch, port, host=None, keep_link=True)
+            return
         if self.view.peer(switch, port) is None and self.view.peer(neighbor, r) is None:
             self.view.add_link(switch, port, neighbor, r)
             self.view_version += 1
@@ -557,6 +582,15 @@ class Controller(HostAgent):
             # Simulated duration of one reprobe session (stage 1 + the
             # optional verification stage), retries excluded.
             self.obs.reprobe_latency.observe(self.loop.now - session.started_at)
+        if session is not None and session.rearm:
+            # A flap arrived mid-session: whatever this session saw may
+            # already be stale.  Run one fresh session (attempt 0: this
+            # is a new notification, not a retry of the old one) and
+            # skip the empty-port retry chain below -- the fresh session
+            # supersedes it.
+            self.loop.schedule(0.0, self._start_reprobe, switch, port)
+            if host is None:
+                return
         if host is None and not keep_link:
             # Nothing confirmed behind the port.  Either it is really
             # empty, or every probe of this session was lost (lossy
@@ -573,6 +607,74 @@ class Controller(HostAgent):
                     TopologyChange(op="host-up", args=(host, switch, port))
                 )
                 self._welcome_host(host)
+
+    # ------------------------------------------------------------------
+    # incremental rediscovery (unknown-switch escalation)
+
+    def _escalate_rediscovery(
+        self, switch: str, port: int, r: int, neighbor: str
+    ) -> None:
+        """A reprobe confirmed a cable to a switch the view has never
+        seen: expand the view from the newcomer's ports with the
+        incremental engine, emitting every confirmed element as a
+        :class:`TopologyChange` (replicas converge on deltas) and
+        flooding one patch per probe round."""
+        assert self.view is not None
+        max_ports = max(
+            self.view.num_ports(sw) for sw in self.view.switches
+        )
+        engine = RediscoveryEngine(
+            view=self.view,
+            origin=self.name,
+            max_ports=max_ports,
+            window=self.config.rediscovery_window,  # type: ignore[attr-defined]
+            on_change=self._on_rediscovery_change,
+        )
+        self.rediscoveries_run += 1
+        # Seed with the externally verified cable; the engine emits its
+        # switch-up/link-up changes and queues the newcomer's remaining
+        # ports as frontier.
+        engine.seed_confirmed_link(switch, port, r, neighbor)
+        if engine.changes:
+            self._flood_patch(tuple(engine.changes), self.view_version)
+        driver = AsyncProbeDriver(
+            self,
+            engine,
+            settle_s=REPROBE_SETTLE_S,
+            on_round=self._on_rediscovery_round,
+            on_done=self._on_rediscovery_done,
+        )
+        self._rediscoveries.add(driver)
+        driver.start()
+
+    def _on_rediscovery_change(self, change: TopologyChange) -> None:
+        """One element confirmed (view already mutated by the engine):
+        bump the version, invalidate paths precisely, replicate."""
+        assert self.view is not None
+        self.view_version += 1
+        self.path_service.note_topology_change(self.view, change.op, change.args)
+        self._log_change(change)
+
+    def _on_rediscovery_round(self, confirmed: List[TopologyChange]) -> None:
+        """A probe round landed something: flood one batched patch and
+        welcome any hosts that appeared."""
+        self._flood_patch(tuple(confirmed), self.view_version)
+        for change in confirmed:
+            if change.op == "host-up":
+                self._welcome_host(change.args[0])
+
+    def _on_rediscovery_done(self, driver: AsyncProbeDriver) -> None:
+        self._rediscoveries.discard(driver)
+        stats = driver.engine.stats
+        self.rediscovery_probes_sent += stats.probes_sent
+        self.rediscovery_rounds += stats.rounds
+        if self.obs is not None:
+            self.obs.rediscovery_latency.observe(
+                self.loop.now - driver.started_at
+            )
+            self.obs.rediscovery_frontier_depth.observe(
+                float(driver.engine.max_frontier_depth)
+            )
 
     def _maybe_retry_reprobe(self, switch: str, port: int, attempt: int) -> None:
         if attempt >= self.config.reprobe_retries:
@@ -630,3 +732,6 @@ class _ReprobeSession:
     host_nonce: int = -1
     bounce_nonces: Dict[int, int] = field(default_factory=dict)
     verify_nonces: Dict[int, Tuple[int, str]] = field(default_factory=dict)
+    #: Set when a link-up notification for this port arrives while the
+    #: session is in flight: finalize re-runs the reprobe once.
+    rearm: bool = False

@@ -443,18 +443,30 @@ def verify_expected_topology(
     """Fast bootstrap: probe only the links/hosts the blueprint expects.
 
     O(links + hosts) probes instead of O(N * P^2): the prior-knowledge
-    optimization Section 4.1 describes.  Mis-wired elements come back in
-    the ``missing_*`` lists for a follow-up full discovery.
+    optimization Section 4.1 describes.  Each link is bounced in *both*
+    directions (a->b expecting b's ID, b->a expecting a's): a single
+    forward bounce confirms only that ``a.port`` leads to ``b.switch``,
+    so a mis-wire where ``b.port`` is actually cabled to some other
+    switch that happens to route the probe home would verify clean.
+    Mis-wired elements come back in the ``missing_*`` lists; feed the
+    report to :func:`repro.core.rediscovery.repair_from_verification`,
+    which re-probes exactly those frontiers instead of re-running full
+    discovery.
     """
     stats = DiscoveryStats()
     specs: List[ProbeSpec] = []
     what: List[Tuple[str, object]] = []
     for link in expected.links:
         to_a, from_a = route_tags(expected, origin, link.a.switch)
+        to_b, from_b = route_tags(expected, origin, link.b.switch)
         specs.append(
             ProbeSpec(tags=to_a + (link.a.port, ID_QUERY, link.b.port) + from_a)
         )
-        what.append(("link", link))
+        what.append(("link-fwd", link))
+        specs.append(
+            ProbeSpec(tags=to_b + (link.b.port, ID_QUERY, link.a.port) + from_b)
+        )
+        what.append(("link-rev", link))
     for host in expected.hosts:
         if host == origin:
             continue
@@ -468,26 +480,31 @@ def verify_expected_topology(
     confirmed_hosts = 0
     missing_links: List[Tuple[str, int, str, int]] = []
     missing_hosts: List[str] = []
+    direction_ok: Dict[object, Dict[str, bool]] = {}
     for (kind, item), outcome in zip(what, outcomes):
-        if kind == "link":
+        if kind in ("link-fwd", "link-rev"):
             link = item
+            expect = link.b.switch if kind == "link-fwd" else link.a.switch  # type: ignore[union-attr]
             ok = (
                 outcome is not None
                 and outcome.kind == "id"
-                and outcome.switch_id == link.b.switch  # type: ignore[union-attr]
+                and outcome.switch_id == expect
             )
-            if ok:
-                confirmed_links += 1
-            else:
-                missing_links.append(
-                    (link.a.switch, link.a.port, link.b.switch, link.b.port)  # type: ignore[union-attr]
-                )
+            direction_ok.setdefault(link.key(), {})[kind] = ok  # type: ignore[union-attr]
         else:
             ok = outcome is not None and outcome.kind == "host" and outcome.host == item
             if ok:
                 confirmed_hosts += 1
             else:
                 missing_hosts.append(item)  # type: ignore[arg-type]
+    for link in expected.links:
+        results = direction_ok.get(link.key(), {})
+        if results.get("link-fwd") and results.get("link-rev"):
+            confirmed_links += 1
+        else:
+            missing_links.append(
+                (link.a.switch, link.a.port, link.b.switch, link.b.port)
+            )
     stats.probes_sent = transport.probes_sent
     stats.replies_received = transport.replies_received
     stats.elapsed_s = transport.elapsed()

@@ -107,6 +107,9 @@ class DumbNetFabric:
                 notify_script_delay_s=notify_script_delay_s,
             )
 
+        # Kept for hot-plugging switches into the running fabric.
+        self._switch_factory = make_switch
+
         def make_host(name: str, network: Network) -> Device:
             rng = random.Random(self._rng.randrange(2**31))
             if name == self.controller_host:
@@ -252,6 +255,32 @@ class DumbNetFabric:
         assert isinstance(device, HostAgent)
         if self.obs is not None:
             self.obs.attach_hotplug(device, self.network.host_channel(host))
+        return device
+
+    def hotplug_switch(
+        self,
+        switch: str,
+        num_ports: int,
+        links: List[Tuple[int, str, int]],
+    ) -> Device:
+        """Rack a brand-new switch into the running fabric.
+
+        ``links`` lists the cables as ``(new switch port, existing
+        switch, existing port)``.  Every existing switch raises
+        port-up, the controller reprobes, meets an unknown switch ID,
+        and escalates into incremental rediscovery -- mapping all of
+        the newcomer's links and hosts without a full re-discovery.
+        Run the loop (``run_until_idle``) to let all of that happen.
+        """
+        device = self.network.hotplug_switch(
+            switch, num_ports, tuple(links), self._switch_factory
+        )
+        if self.obs is not None:
+            for new_port, peer_switch, peer_port in links:
+                channel = self.network.link_channel(
+                    switch, new_port, peer_switch, peer_port
+                )
+                channel.enable_obs(self.obs.link_queue_wait)
         return device
 
     # ------------------------------------------------------------------

@@ -450,6 +450,10 @@ class HostAgent(Device):
                             and self.topo_cache.fragment.peer(sw_b, port_b) is None
                         ):
                             self.topo_cache.fragment.add_link(sw_a, port_a, sw_b, port_b)
+            elif change.op == "switch-up":
+                switch, num_ports = change.args
+                if not self.topo_cache.fragment.has_switch(switch):
+                    self.topo_cache.fragment.add_switch(switch, num_ports)
             elif change.op == "switch-down":
                 (switch,) = change.args
                 if self.topo_cache.fragment.has_switch(switch):

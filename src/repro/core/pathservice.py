@@ -322,6 +322,27 @@ class PathService:
         self.stats.link_evictions += evicted
         return evicted
 
+    def note_topology_change(self, view: Topology, op: str, args: Tuple) -> None:
+        """Apply the right invalidation for one already-applied
+        :class:`~repro.core.messages.TopologyChange`.
+
+        Callers that mutate the view through a delta stream (the
+        incremental rediscovery pipeline, replicas replaying the quorum
+        log) route every change through here instead of choosing between
+        :meth:`invalidate_link` and :meth:`flush` themselves: link
+        removals get precise eviction, anything that can create new
+        shortest paths (link-up, switch-up, adopt-view) flushes, and
+        host attachment changes cost nothing (they never touch switch
+        reachability).
+        """
+        if op == "link-down":
+            sw_a, port_a, sw_b, port_b = args
+            self.invalidate_link(view, sw_a, port_a, sw_b, port_b)
+        elif op in ("host-up", "host-down"):
+            pass
+        else:  # link-up, switch-up, switch-down, adopt-view, unknown
+            self.flush()
+
     def flush(self) -> None:
         """Topology changed in a way precise eviction cannot honor (link
         restored, switch appeared, new view adopted): drop everything."""

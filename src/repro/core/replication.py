@@ -20,7 +20,6 @@ from typing import Dict, List, Optional, Sequence
 from ..consensus.store import ReplicatedTopologyStore
 from ..netsim.network import Network
 from .controller import Controller, ControllerConfig
-from .host_agent import HostAgent
 
 __all__ = ["ReplicatedControlPlane", "ReplicationError"]
 
@@ -36,18 +35,25 @@ class ReplicatedControlPlane:
         self,
         network: Network,
         primary: Controller,
-        standbys: Sequence[HostAgent],
+        standbys: Sequence[Controller],
     ) -> None:
+        """``standbys`` must be :class:`Controller` instances (built by
+        e.g. :func:`~repro.faultinject.runner.build_chaos_fabric`'s
+        controller-capable hosts): promotion installs a view and starts
+        answering path queries, which a plain
+        :class:`~repro.core.host_agent.HostAgent` cannot do."""
         if primary.view is None:
             raise ReplicationError("primary has no view; bootstrap first")
         for standby in standbys:
             if not isinstance(standby, Controller):
+                name = getattr(standby, "name", standby)
                 raise ReplicationError(
-                    f"standby {standby.name!r} must be a Controller instance"
+                    f"standby {name!r} must be a Controller instance, "
+                    f"got {type(standby).__name__}"
                 )
         self.network = network
         self.primary = primary
-        self.standbys: List[Controller] = list(standbys)  # type: ignore[arg-type]
+        self.standbys: List[Controller] = list(standbys)
         names = [primary.name] + [s.name for s in self.standbys]
         self.store = ReplicatedTopologyStore(names, primary.view)
         primary.replicator = self.store

@@ -292,6 +292,14 @@ class ChaosRunner:
             network.fail_switch(args[0])
         elif kind == "switch-restart":
             network.restore_switch(args[0])
+        elif kind == "switch-join":
+            switch, num_ports, links = args
+            tracer = self.fabric.tracer
+
+            def make_switch(name: str, ports: int, net: Network) -> DumbSwitch:
+                return DumbSwitch(name, ports, net.loop, tracer=tracer)
+
+            network.hotplug_switch(switch, num_ports, tuple(links), make_switch)
         elif kind == "host-partition":
             network.host_channel(args[0]).fail()
         elif kind == "host-rejoin":

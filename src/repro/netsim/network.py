@@ -163,6 +163,45 @@ class Network:
         )
         return device
 
+    def hotplug_switch(
+        self,
+        switch: str,
+        num_ports: int,
+        links: Tuple[Tuple[int, str, int], ...],
+        switch_factory: SwitchFactory,
+    ) -> Device:
+        """Rack a new switch into a live network.
+
+        ``links`` lists the cables as ``(new switch port, existing
+        switch, existing port)``.  Each cable raises the PHY on *both*
+        ends after its detection delay: the existing switches originate
+        the link-up notifications that trigger the controller's reprobe,
+        which then escalates into incremental rediscovery of the
+        newcomer (it appears as an unknown switch ID).
+        """
+        self.topology.add_switch(switch, num_ports)
+        device = switch_factory(switch, num_ports, self)
+        self.switches[switch] = device
+        if self.tracer.counters_enabled:
+            device.enable_counters(self.tracer.counters_for(f"device:{switch}"))
+        for new_port, peer_switch, peer_port in links:
+            link = self.topology.add_link(switch, new_port, peer_switch, peer_port)
+            self._wire_link(link)
+            channel = self._link_channels[link.key()]
+            self.loop.schedule(
+                channel.detection_delay_s,
+                self.switches[peer_switch].port_state_changed,
+                peer_port,
+                True,
+            )
+            self.loop.schedule(
+                channel.detection_delay_s,
+                device.port_state_changed,
+                new_port,
+                True,
+            )
+        return device
+
     # ------------------------------------------------------------------
     # failure injection
 

@@ -62,6 +62,9 @@ _CONTROLLER_COUNTERS = (
     "reprobes_run",
     "reprobes_retried",
     "announces_retried",
+    "rediscoveries_run",
+    "rediscovery_probes_sent",
+    "rediscovery_rounds",
 )
 
 
@@ -86,6 +89,12 @@ class FabricObs:
         )
         self.reprobe_latency = self.registry.histogram(
             "controller.reprobe.latency_s"
+        )
+        self.rediscovery_latency = self.registry.histogram(
+            "controller.rediscovery.latency_s"
+        )
+        self.rediscovery_frontier_depth = self.registry.histogram(
+            "controller.rediscovery.frontier_depth", least=1.0, growth=2.0
         )
 
     # ------------------------------------------------------------------

@@ -154,3 +154,52 @@ class TestBlueprintBootstrap:
         by_blueprint = DumbNetFabric(topo.copy(), controller_host="h0_0", seed=1)
         by_blueprint.adopt_blueprint()
         assert by_blueprint.controller.view.same_wiring(probe_view)
+
+
+class TestReprobeRearm:
+    """Link-up news arriving while a reprobe session is already in
+    flight must re-arm a fresh session after the active one finalizes,
+    not vanish -- otherwise a port whose first session came up empty
+    (lossy fabric, no retries) stays unknown forever."""
+
+    def test_link_up_during_inflight_session_survives(self):
+        from repro.core.controller import ControllerConfig
+        from repro.core.messages import PortStateNotification
+
+        fab = DumbNetFabric(
+            figure1(),
+            controller_host="C3",
+            seed=5,
+            controller_config=ControllerConfig(reprobe_retries=0),
+        )
+        fab.bootstrap()
+        ctl = fab.controller
+        edge = ("S2", 3, "S5", 2)
+        fab.fail_link(*edge)
+        fab.run_until_idle()
+        assert ctl.view.peer("S2", 3) is None
+        # Every probe crossing the restored cable vanishes: the first
+        # sessions will come up empty, and retries are disabled.
+        channel = fab.network.link_channel(*edge)
+        channel.loss_rate = 1.0
+        fab.restore_link(*edge)
+        # Deliver the link-up news by hand: the switches' own alarms
+        # sit behind ALARM_SUPPRESS_SECONDS, and the contract under
+        # test is the controller's, however the news gets there.
+        ctl.on_news(PortStateNotification(switch="S2", port=3, up=True, seq=901))
+        ctl.on_news(PortStateNotification(switch="S5", port=2, up=True, seq=902))
+        fab.run(until=fab.now + 0.005)
+        assert ctl._reprobes  # sessions in flight, probes already lost
+        # Fresh link-up news lands while those sessions are still
+        # inside their settle window (the cable flapped again).
+        ctl.on_news(PortStateNotification(switch="S2", port=3, up=True, seq=903))
+        ctl.on_news(PortStateNotification(switch="S5", port=2, up=True, seq=904))
+        # The re-armed follow-up sessions probe a healthy cable.  Stop
+        # well before the switches' own suppressed alarms re-fire
+        # (ALARM_SUPPRESS_SECONDS ~ 1s): without the re-arm, the view
+        # stays stale for that whole window; with it, the follow-up
+        # session heals the link right after the first one finalizes.
+        channel.loss_rate = 0.0
+        fab.run(until=fab.now + 0.3)
+        assert ctl.view.has_link("S2", 3, "S5", 2)
+        fab.run_until_idle()

@@ -1,11 +1,15 @@
 """Topology discovery tests: oracle transport, BFS, verification mode."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.discovery import (
     DiscoveryError,
+    DiscoveryStats,
     OracleProbeTransport,
     ProbeSpec,
+    _retrying_round,
     discover,
     route_tags,
     verify_expected_topology,
@@ -254,3 +258,161 @@ class TestVerificationBootstrap:
         transport = oracle_for(truth, "h0_0")
         report = verify_expected_topology(transport, "h0_0", blueprint)
         assert "h3_2" in report.missing_hosts
+
+
+def _hub_and_spokes():
+    """S fans out to A, B, C; the origin host hangs off S."""
+    topo = Topology()
+    topo.add_switch("S", 10)
+    for spoke in ("A", "B", "C"):
+        topo.add_switch(spoke, 3)
+    topo.add_link("A", 1, "S", 1)
+    topo.add_link("B", 1, "S", 2)
+    topo.add_link("C", 1, "S", 3)
+    topo.add_host("H", "S", 10)
+    return topo
+
+
+class TestVerificationMisWire:
+    """A crossed patch-panel wire that a one-directional bounce cannot
+    see: the blueprint says A.2 <-> B.2, but A.2 actually lands on B.3
+    and B.2 on C.2.  The forward bounce (out A.2, query, back via
+    'B.2') still comes home -- through C -- carrying B's ID, so it
+    verifies clean; only the reverse bounce (out B.2, expecting A's ID)
+    exposes the mis-wire."""
+
+    def _scenario(self):
+        blueprint = _hub_and_spokes()
+        blueprint.add_link("A", 2, "B", 2)
+        truth = _hub_and_spokes()
+        truth.add_link("A", 2, "B", 3)
+        truth.add_link("B", 2, "C", 2)
+        return truth, blueprint
+
+    def test_crossed_cable_flagged(self):
+        truth, blueprint = self._scenario()
+        report = verify_expected_topology(oracle_for(truth, "H"), "H", blueprint)
+        assert not report.clean
+        assert ("A", 2, "B", 2) in report.missing_links
+
+    def test_honest_links_still_verify(self):
+        truth, blueprint = self._scenario()
+        report = verify_expected_topology(oracle_for(truth, "H"), "H", blueprint)
+        assert report.missing_links == [("A", 2, "B", 2)]
+        assert report.missing_hosts == []
+        assert report.confirmed_links == 3  # the three spoke uplinks
+
+    def test_repair_recovers_the_real_wiring(self):
+        from repro.core.rediscovery import repair_from_verification
+
+        truth, blueprint = self._scenario()
+        transport = oracle_for(truth, "H")
+        report = verify_expected_topology(transport, "H", blueprint)
+        repaired = repair_from_verification(transport, "H", blueprint, report)
+        assert repaired.view.same_wiring(truth)
+
+
+class _DropFirstAttempt:
+    """Transport wrapper: the first attempt of selected specs vanishes
+    (scenario (i) loss), retries go through untouched."""
+
+    def __init__(self, inner, drop_specs):
+        self.inner = inner
+        self.max_ports = inner.max_ports
+        self._drop = set(drop_specs)
+        self._seen = set()
+
+    def probe_round(self, specs):
+        outcomes = list(self.inner.probe_round(specs))
+        for i, spec in enumerate(specs):
+            if spec in self._drop and spec not in self._seen:
+                self._seen.add(spec)
+                outcomes[i] = None
+        return outcomes
+
+    @property
+    def probes_sent(self):
+        return self.inner.probes_sent
+
+    @property
+    def replies_received(self):
+        return self.inner.replies_received
+
+    def elapsed(self):
+        return self.inner.elapsed()
+
+
+def _host_probe_specs(topo, origin):
+    """One guaranteed-answer host probe per non-origin host."""
+    specs, expect = [], []
+    for host in sorted(topo.hosts):
+        if host == origin:
+            continue
+        ref = topo.host_port(host)
+        to_s, from_s = route_tags(topo, origin, ref.switch)
+        specs.append(ProbeSpec(tags=to_s + (ref.port,), reply_tags=from_s))
+        expect.append(host)
+    return specs, expect
+
+
+class TestRetryingRoundAccounting:
+    """Loss accounting of the shared retry loop: rounds, probes_retried,
+    and in-place back-fill of recovered outcomes."""
+
+    @given(drop=st.sets(st.integers(min_value=0, max_value=4)))
+    @settings(max_examples=40, deadline=None)
+    def test_losses_backfilled_and_counted(self, drop):
+        topo = figure1()
+        origin = sorted(topo.hosts)[0]
+        specs, expect = _host_probe_specs(topo, origin)
+        assert len(specs) == 5
+        transport = _DropFirstAttempt(
+            oracle_for(topo, origin), {specs[i] for i in drop}
+        )
+        stats = DiscoveryStats()
+        outcomes = _retrying_round(transport, stats, specs, probe_retries=2)
+        # Every outcome recovered on the retry, in its original slot.
+        assert [o.host for o in outcomes] == expect
+        # One retry round iff something was lost; one retried probe per
+        # dropped spec.
+        assert stats.rounds == (2 if drop else 1)
+        assert stats.probes_retried == len(drop)
+
+    @given(drop=st.sets(st.integers(min_value=0, max_value=4), min_size=1))
+    @settings(max_examples=20, deadline=None)
+    def test_zero_retries_leaves_losses_unanswered(self, drop):
+        topo = figure1()
+        origin = sorted(topo.hosts)[0]
+        specs, expect = _host_probe_specs(topo, origin)
+        transport = _DropFirstAttempt(
+            oracle_for(topo, origin), {specs[i] for i in drop}
+        )
+        stats = DiscoveryStats()
+        outcomes = _retrying_round(transport, stats, specs, probe_retries=0)
+        for i, outcome in enumerate(outcomes):
+            if i in drop:
+                assert outcome is None
+            else:
+                assert outcome.host == expect[i]
+        assert stats.rounds == 1
+        assert stats.probes_retried == 0
+
+    def test_genuinely_empty_port_costs_every_retry(self):
+        topo = Topology()
+        topo.add_switch("S", 4)
+        topo.add_host("O", "S", 1)
+        topo.add_host("X", "S", 2)
+        specs = [
+            ProbeSpec(tags=(2,), reply_tags=(1,)),  # host X: answers
+            ProbeSpec(tags=(3,), reply_tags=(1,)),  # empty port: never
+        ]
+        stats = DiscoveryStats()
+        outcomes = _retrying_round(
+            oracle_for(topo, "O"), stats, specs, probe_retries=2
+        )
+        assert outcomes[0] is not None and outcomes[0].host == "X"
+        assert outcomes[1] is None
+        # The empty port is indistinguishable from loss: it eats one
+        # probe per retry round and the rounds run out, not converge.
+        assert stats.rounds == 3
+        assert stats.probes_retried == 2

@@ -133,3 +133,13 @@ class TestSerializationRoundTrip:
         result = fab.bootstrap()
         clone = loads(dumps(result.view))
         assert clone.same_wiring(result.view)
+
+
+class TestStandbyTypeCheck:
+    def test_rejection_names_the_offending_type(self):
+        """The error must say what was passed, not just refuse."""
+        network, agents, plane, _tracer = build_plane()
+        with pytest.raises(ReplicationError, match="HostAgent"):
+            ReplicatedControlPlane(
+                network, plane.current_primary, [agents["h4_4"]]
+            )
