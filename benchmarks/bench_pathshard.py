@@ -1,0 +1,273 @@
+"""Control-plane scale-out benchmark: sharded vs single path service.
+
+Standalone (not a pytest bench -- CI runs it directly):
+
+    PYTHONPATH=src python benchmarks/bench_pathshard.py [--smoke]
+
+PR 6 turns the controller's serving layer into per-pod shards
+(``repro.core.pathshard``), each with its own SSSP trees, path-graph
+LRU and replicated topology store.  This bench pins the three claims
+that make that a scale-out and not just a refactor:
+
+* **byte identity** -- every intra-pod shard answer equals the single
+  global PathService's fresh build for the same key (same stable
+  tie-breaker seed => same tags on the wire);
+* **aggregate throughput** -- shards are independent controller
+  processes, so the offered load completes when the *slowest* shard
+  finishes its slice: aggregate warm queries/sec is
+  ``total / max(per-shard wall)``, and must be >= 5x the single
+  service serving the identical mix (the single-thread sum model is
+  reported alongside for honesty);
+* **independent failover** -- a planned ``failover()`` (non-crashing
+  step-down) followed by a real ``fail_primary()`` on the *same* shard
+  still elects a leader (the quorum no longer leaks a node per planned
+  hand-off), and other shards never notice.
+
+An open-loop host-join + path-query storm
+(``repro.workloads.path_query_storm``) then drives the router the way
+a busy fabric would -- pod-local and cross-pod queries interleaved
+with replicated ``host-up`` commits -- checking every shard's replica
+views converge with zero dropped records.
+
+Results land in ``BENCH_pathshard.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import os
+import random
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.core.pathservice import PathService
+from repro.core.pathshard import ShardedPathService
+from repro.topology.fattree import fat_tree
+from repro.workloads.storm import path_query_storm
+
+from _util import REPO_ROOT, publish_json
+
+SEED = 11
+S_PARAM = 2
+EPSILON = 1
+CAPACITY = 2048
+#: The acceptance floor: 8 pod shards must serve the warm intra-pod
+#: mix at >= 5x the single global service's aggregate rate.
+SPEEDUP_FLOOR = 5.0
+
+
+def intra_pod_pairs(svc: ShardedPathService, per_pod: int, rng: random.Random):
+    """Ordered same-pod switch pairs, ``per_pod`` per pod (0 = all)."""
+    by_pod = {}
+    for pod in svc.pod_map.pods:
+        pairs = list(itertools.permutations(sorted(svc.pod_map.members(pod)), 2))
+        if per_pod and per_pod < len(pairs):
+            pairs = rng.sample(pairs, per_pod)
+        by_pod[pod] = pairs
+    return by_pod
+
+
+def _best_wall(fn, reps: int = 3) -> float:
+    """Best-of-N wall clock: rejects scheduler jitter on short loops."""
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_throughput(view, svc, flat, pairs_by_pod, rounds: int) -> dict:
+    all_pairs = [p for pairs in pairs_by_pod.values() for p in pairs]
+
+    # Byte identity + prewarm: the shard answer IS the single-service
+    # answer (flat's first touch is a fresh build with the same
+    # deterministic per-key rng).
+    for pod, pairs in pairs_by_pod.items():
+        for src, dst in pairs:
+            got = svc.path_graph(src, dst, S_PARAM, EPSILON)
+            want = flat.path_graph(view, src, dst, S_PARAM, EPSILON)
+            assert got == want, (
+                f"shard answer for ({src}, {dst}) diverged from the "
+                "single-service build"
+            )
+    assert svc.global_queries == 0, "intra-pod query leaked to global tier"
+
+    # Warm single service: the whole mix, several rounds.
+    def serve_single():
+        for _ in range(rounds):
+            for src, dst in all_pairs:
+                flat.path_graph(view, src, dst, S_PARAM, EPSILON)
+
+    single_wall = _best_wall(serve_single)
+
+    # Warm shards: each serves only its pod's slice.  Shards model
+    # independent controller processes, so the aggregate rate is bound
+    # by the slowest shard (parallel completion of the offered load).
+    def serve_shard(shard, pairs):
+        for _ in range(rounds):
+            for src, dst in pairs:
+                shard.path_graph(src, dst, S_PARAM, EPSILON)
+
+    shard_walls = {
+        pod: _best_wall(lambda: serve_shard(svc.shards[pod], pairs))
+        for pod, pairs in pairs_by_pod.items()
+    }
+
+    total = len(all_pairs) * rounds
+    slowest = max(shard_walls.values())
+    single_qps = total / single_wall
+    aggregate_qps = total / slowest
+    return {
+        "shards": len(pairs_by_pod),
+        "queries_per_round": len(all_pairs),
+        "rounds": rounds,
+        "single_warm_qps": round(single_qps, 0),
+        "sharded_aggregate_warm_qps": round(aggregate_qps, 0),
+        "aggregate_speedup": round(aggregate_qps / single_qps, 2),
+        "single_thread_sum_speedup": round(
+            single_wall / sum(shard_walls.values()), 2
+        ),
+        "slowest_shard_wall_s": round(slowest, 4),
+        "byte_identical_answers": len(all_pairs),
+    }
+
+
+def bench_storm(view, svc, smoke: bool) -> dict:
+    """Open-loop query + host-join storm through the shard router."""
+    events = path_query_storm(
+        view,
+        svc.pod_map.pod_of,
+        duration_s=0.2,
+        query_rate_per_s=2000.0 if smoke else 10000.0,
+        join_rate_per_s=100.0 if smoke else 250.0,
+        locality=0.8,
+        seed=SEED + 1,
+    )
+    queries = joins = 0
+    t0 = time.perf_counter()
+    for event in events:
+        if event.kind == "query":
+            svc.path_graph(event.args[0], event.args[1], S_PARAM, EPSILON)
+            queries += 1
+        else:
+            svc.note_topology_change("host-up", event.args)
+            joins += 1
+    wall = time.perf_counter() - t0
+
+    # Every join was a quorum commit on its pod's shard: all replica
+    # views must have converged, with zero dropped records.
+    drops = 0
+    for shard in svc.shards.values():
+        leader_view = shard.view
+        for name in shard.replica_names:
+            assert shard.store.view_of(name).same_wiring(leader_view), (
+                f"replica {name} diverged from its shard primary"
+            )
+        drops += shard.store.total_drops()
+    assert drops == 0, f"{drops} committed records dropped by replicas"
+
+    return {
+        "events": len(events),
+        "queries": queries,
+        "host_joins": joins,
+        "events_per_s": round(len(events) / wall, 0),
+        "replica_drops": drops,
+    }
+
+
+def bench_failover(view, svc, flat, pairs_by_pod) -> dict:
+    """Planned failover then a crash on the SAME shard: the quorum must
+    survive both (the step-down no longer burns a node), and the other
+    shards must be untouched."""
+    pods = sorted(svc.shards)
+    victim = svc.shards[pods[0]]
+    bystanders = {pod: svc.shards[pod].primary for pod in pods[1:]}
+
+    replicas = victim.alive_replicas()
+    first = victim.primary
+    stepped = victim.failover()  # planned: non-crashing step-down
+    assert stepped is not None and stepped != first, "step-down failed"
+    assert victim.alive_replicas() == replicas, (
+        "planned failover shrank the quorum (step-down crashed a node)"
+    )
+    crashed = victim.fail_primary()  # real crash on the same shard
+    assert crashed is not None and crashed != stepped, (
+        "no leader after failover + fail_primary: quorum leaked"
+    )
+    assert victim.alive_replicas() == replicas - 1
+
+    # The shard keeps serving, still byte-identical (its serving view
+    # moved to the new primary's replica; the cache re-warms).
+    src, dst = pairs_by_pod[pods[0]][0]
+    got = victim.path_graph(src, dst, S_PARAM, EPSILON)
+    want = flat.path_graph(view, src, dst, S_PARAM, EPSILON)
+    assert got == want, "post-failover shard answer diverged"
+
+    # Other shards never noticed.
+    for pod, leader in bystanders.items():
+        assert svc.shards[pod].primary == leader, (
+            f"shard {pod} changed leader during another shard's failover"
+        )
+        assert svc.shards[pod].alive_replicas() == replicas
+
+    return {
+        "planned_then_crash_ok": True,
+        "leaders": [first, stepped, crashed],
+        "alive_replicas_after": victim.alive_replicas(),
+        "bystander_shards_untouched": len(bystanders),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI mode: fat-tree(8) with 1 host/edge and a lighter mix",
+    )
+    opts = parser.parse_args(argv)
+
+    # The acceptance topology either way: fat-tree(8) = 8 pod shards.
+    # Smoke trims hosts and the query mix, not the shard count.
+    view = fat_tree(8, hosts_per_edge=1 if opts.smoke else 2)
+    flat = PathService(capacity=CAPACITY, seed=SEED)
+    svc = ShardedPathService(view, seed=SEED, capacity=CAPACITY)
+    rng = random.Random(SEED)
+    pairs_by_pod = intra_pod_pairs(svc, 0, rng)
+    rounds = 100 if opts.smoke else 200
+
+    payload = {
+        "schema": "bench-pathshard/1",
+        "mode": "smoke" if opts.smoke else "full",
+        "topology": "fat_tree_8",
+        "switches": len(view.switches),
+        "pods": len(svc.pod_map.pods),
+        "replicas_per_shard": svc.n_replicas,
+        "speedup_floor": SPEEDUP_FLOOR,
+    }
+    payload["throughput"] = bench_throughput(view, svc, flat, pairs_by_pod, rounds)
+    print(f"[throughput] {payload['throughput']}")
+    payload["storm"] = bench_storm(view, svc, opts.smoke)
+    print(f"[storm] {payload['storm']}")
+    payload["failover"] = bench_failover(view, svc, flat, pairs_by_pod)
+    print(f"[failover] {payload['failover']}")
+    payload["shard_report"] = svc.report()
+
+    publish_json(
+        "bench_pathshard", payload,
+        path=os.path.join(REPO_ROOT, "BENCH_pathshard.json"),
+    )
+
+    speedup = payload["throughput"]["aggregate_speedup"]
+    if speedup < SPEEDUP_FLOOR:
+        print(f"FAIL: sharded aggregate warm throughput only {speedup}x "
+              f"the single service (floor {SPEEDUP_FLOOR}x)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

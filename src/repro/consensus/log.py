@@ -199,11 +199,45 @@ class Cluster:
             return True
         return False
 
-    def elect_any(self) -> Optional[str]:
-        """Elect the first alive, connected node that can win."""
+    def elect_any(self, exclude: Optional[Set[str]] = None) -> Optional[str]:
+        """Elect the first alive, connected node that can win.
+
+        ``exclude`` names nodes that must not be candidates (they still
+        vote) -- a planned step-down wants a *different* leader even
+        though the old one is alive and has the longest log.
+        """
         for name in sorted(self.nodes):
+            if exclude and name in exclude:
+                continue
             if self.nodes[name].alive and self.elect(name):
                 return name
+        return None
+
+    def step_down(self, prefer: Optional[str] = None) -> Optional[str]:
+        """Planned leader hand-off: the current leader relinquishes the
+        lease *without crashing* and a different replica is elected.
+
+        Unlike ``crash()``, the demoted node stays alive: it keeps
+        voting, and the successor's first replication round brings it
+        up to date as an ordinary follower.  Returns the new leader's
+        name, or ``None`` if no other replica could win (in which case
+        the old leader is re-elected so the cluster is not left
+        headless).
+        """
+        old = self.leader
+        if old is not None:
+            self.nodes[old].is_leader = False
+            self.leader = None
+        if prefer is not None and prefer != old and self.elect(prefer):
+            return prefer
+        exclude = {old} if old is not None else None
+        winner = self.elect_any(exclude=exclude)
+        if winner is not None:
+            return winner
+        # Nobody else can win (e.g. a two-node cluster with the peer
+        # down).  Restore the old leader rather than losing the lease.
+        if old is not None and self.nodes[old].alive:
+            self.elect(old)
         return None
 
     # ------------------------------------------------------------------

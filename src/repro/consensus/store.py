@@ -17,41 +17,102 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.messages import TopologyChange
-from ..topology.graph import PortRef, Topology
+from ..topology.graph import HostAttachment, PortRef, Topology
 from .log import Cluster, NotLeaderError, QuorumLostError
 
 __all__ = ["ReplicatedTopologyStore", "apply_change"]
 
 
-def apply_change(view: Topology, change: TopologyChange) -> None:
-    """Apply one committed topology change to a replica's view."""
+def _count(stats: Optional[Dict[str, int]], key: str) -> None:
+    if stats is not None:
+        stats[key] = stats.get(key, 0) + 1
+
+
+def _evict_port(
+    view: Topology, switch: str, port: int, stats: Optional[Dict[str, int]]
+) -> None:
+    """Free one port by removing whatever this replica thinks occupies
+    it.  The committed record wins: the occupant is stale local state
+    (a link or host the quorum has since superseded)."""
+    peer = view.peer(switch, port)
+    if peer is None:
+        return
+    if isinstance(peer, PortRef):
+        view.remove_link(switch, port, peer.switch, peer.port)
+    elif isinstance(peer, HostAttachment):
+        view.remove_host(peer.host)
+    _count(stats, "reconciled")
+
+
+def apply_change(
+    view: Topology,
+    change: TopologyChange,
+    stats: Optional[Dict[str, int]] = None,
+) -> None:
+    """Apply one committed topology change to a replica's view.
+
+    Committed records are authoritative: when this replica's view
+    disagrees (a port the record needs is occupied by something else),
+    the stale occupant is evicted and the record applied -- silently
+    skipping it would let replica views diverge from the primary's with
+    no signal.  ``stats``, when given, counts ``applied`` (record took
+    effect, including idempotent re-applies), ``reconciled`` (a stale
+    occupant was evicted first) and ``dropped`` (record could not be
+    applied at all -- a divergence signal surfaced via telemetry).
+    """
     if change.op == "link-down":
         sw_a, port_a, sw_b, port_b = change.args
         if view.has_link(sw_a, port_a, sw_b, port_b):
             view.remove_link(sw_a, port_a, sw_b, port_b)
+            _count(stats, "applied")
+        else:
+            _count(stats, "dropped")
     elif change.op == "link-up":
         sw_a, port_a, sw_b, port_b = change.args
         if not view.has_switch(sw_a) or not view.has_switch(sw_b):
+            _count(stats, "dropped")
             return
-        if view.peer(sw_a, port_a) is None and view.peer(sw_b, port_b) is None:
-            view.add_link(sw_a, port_a, sw_b, port_b)
+        if view.has_link(sw_a, port_a, sw_b, port_b):
+            _count(stats, "applied")  # idempotent re-apply
+            return
+        _evict_port(view, sw_a, port_a, stats)
+        _evict_port(view, sw_b, port_b, stats)
+        view.add_link(sw_a, port_a, sw_b, port_b)
+        _count(stats, "applied")
     elif change.op == "switch-up":
         switch, num_ports = change.args
         if not view.has_switch(switch):
             view.add_switch(switch, num_ports)
+        _count(stats, "applied")
     elif change.op == "switch-down":
         (switch,) = change.args
         if view.has_switch(switch):
             view.remove_switch(switch)
+            _count(stats, "applied")
+        else:
+            _count(stats, "dropped")
     elif change.op == "host-up":
         host, switch, port = change.args
-        if view.has_switch(switch) and not view.has_host(host):
-            if view.peer(switch, port) is None:
-                view.add_host(host, switch, port)
+        if not view.has_switch(switch):
+            _count(stats, "dropped")
+            return
+        if view.has_host(host):
+            ref = view.host_port(host)
+            if ref.switch == switch and ref.port == port:
+                _count(stats, "applied")  # idempotent re-apply
+                return
+            view.remove_host(host)  # moved: committed attachment wins
+            _count(stats, "reconciled")
+        _evict_port(view, switch, port, stats)
+        view.add_host(host, switch, port)
+        _count(stats, "applied")
     elif change.op == "host-down":
         (host,) = change.args
         if view.has_host(host):
             view.remove_host(host)
+            _count(stats, "applied")
+        else:
+            _count(stats, "dropped")
     # "adopt-view" entries are markers; the bulk view is seeded directly.
 
 
@@ -62,13 +123,22 @@ class ReplicatedTopologyStore:
         self.views: Dict[str, Topology] = {
             name: initial_view.copy() for name in replica_names
         }
+        #: Per-replica apply outcome counters (applied / reconciled /
+        #: dropped); ``dropped`` > 0 means a committed record could not
+        #: take effect on that replica -- the divergence signal
+        #: surfaced through FabricReport.
+        self.apply_stats: Dict[str, Dict[str, int]] = {
+            name: {"applied": 0, "reconciled": 0, "dropped": 0}
+            for name in replica_names
+        }
 
         def apply_factory(name: str):
             view = self.views[name]
+            stats = self.apply_stats[name]
 
             def apply_fn(payload: Any) -> None:
                 if isinstance(payload, TopologyChange):
-                    apply_change(view, payload)
+                    apply_change(view, payload, stats=stats)
 
             return apply_fn
 
@@ -94,6 +164,18 @@ class ReplicatedTopologyStore:
             self.cluster.nodes[self.cluster.leader].crash()
             self.cluster.leader = None
         return self.cluster.elect_any()
+
+    def step_down(self, prefer: Optional[str] = None) -> Optional[str]:
+        """Planned primary hand-off (maintenance): the old primary's
+        quorum node stays alive as a follower -- the quorum does *not*
+        shrink -- and the successor's election replicates it back up to
+        date.  Returns the new primary, or ``None`` if no other replica
+        could win (the old primary then keeps the lease)."""
+        return self.cluster.step_down(prefer=prefer)
+
+    def total_drops(self) -> int:
+        """Committed records that failed to apply, summed over replicas."""
+        return sum(stats["dropped"] for stats in self.apply_stats.values())
 
     def recover(self, replica: str) -> None:
         self.cluster.nodes[replica].recover()

@@ -41,6 +41,7 @@ from .messages import (
 )
 from .packet import ID_QUERY
 from .pathservice import PathService
+from .pathshard import PodMap, ShardedPathService
 from .rediscovery import AsyncProbeDriver, RediscoveryEngine
 
 __all__ = ["Controller", "ControllerConfig"]
@@ -110,6 +111,9 @@ class Controller(HostAgent):
         )
         #: Optional replication hook: an object with append(entry).
         self.replicator = None
+        #: Optional control-plane scale-out: per-pod shards routed to by
+        #: :meth:`handle_path_request`; built by :meth:`enable_sharding`.
+        self.shard_service: Optional[ShardedPathService] = None
         #: Pending link-up reprobe sessions.
         self._reprobes: Dict[Tuple[str, int], "_ReprobeSession"] = {}
         #: In-flight incremental rediscovery drivers (unknown-switch
@@ -157,7 +161,40 @@ class Controller(HostAgent):
         self.controller = self.name
         self.tags_to_controller = ()
         self.topo_cache.record_attachment(self.name, attachment[0], attachment[1])
+        if self.shard_service is not None:
+            # A bulk view swap invalidates every shard's subview.
+            self.shard_service.rebuild(view)
         self._log_change(TopologyChange(op="adopt-view", args=(self.view_version,)))
+
+    def enable_sharding(
+        self,
+        pod_map: Optional[PodMap] = None,
+        n_replicas: int = 3,
+    ) -> ShardedPathService:
+        """Turn on control-plane scale-out: build one replicated path
+        shard per pod and route intra-pod queries to it.
+
+        The shards share this controller's path-service seed (so every
+        answer stays byte-identical to the unsharded serving path) and
+        its existing :class:`PathService` as the global tier.  Call
+        :meth:`announce_all` afterwards so hosts learn their pod.
+        """
+        if self.view is None:
+            raise RuntimeError("enable_sharding before discovery")
+        self.shard_service = ShardedPathService(
+            self.view,
+            pod_map=pod_map,
+            seed=self.path_service.seed,
+            capacity=self.config.path_cache_capacity,  # type: ignore[attr-defined]
+            n_replicas=n_replicas,
+            global_service=self.path_service,
+        )
+        return self.shard_service
+
+    def _pod_of_host(self, host: str) -> Optional[str]:
+        if self.shard_service is None:
+            return None
+        return self.shard_service.pod_of_host(host)
 
     def announce_all(self) -> int:
         """Send a :class:`ControllerAnnounce` to every known host.
@@ -191,6 +228,7 @@ class Controller(HostAgent):
                 tags_to_controller=tags_back,
                 your_attachment=(ref.switch, ref.port),
                 gossip_neighbors=overlay.get(host, ()),
+                pod=self._pod_of_host(host),
             )
             self.send_tagged(tags_out, announce, dst=host)
             count += 1
@@ -230,6 +268,7 @@ class Controller(HostAgent):
                 tags_to_controller=tags_back,
                 your_attachment=(ref.switch, ref.port),
                 gossip_neighbors=overlay.get(host, ()),
+                pod=self._pod_of_host(host),
             )
             self.send_tagged(tags_out, announce, dst=host)
             self.announces_retried += 1
@@ -392,13 +431,22 @@ class Controller(HostAgent):
             dst_ref = view.host_port(request.dst)
             src_att = (src_ref.switch, src_ref.port)
             dst_att = (dst_ref.switch, dst_ref.port)
-            graph = self.path_service.path_graph(
-                view,
-                src_ref.switch,
-                dst_ref.switch,
-                s=self.config.path_graph_s,
-                epsilon=self.config.path_graph_epsilon,
-            )
+            if self.shard_service is not None:
+                graph = self.shard_service.path_graph(
+                    src_ref.switch,
+                    dst_ref.switch,
+                    s=self.config.path_graph_s,
+                    epsilon=self.config.path_graph_epsilon,
+                    pod_hint=request.pod,
+                )
+            else:
+                graph = self.path_service.path_graph(
+                    view,
+                    src_ref.switch,
+                    dst_ref.switch,
+                    s=self.config.path_graph_s,
+                    epsilon=self.config.path_graph_epsilon,
+                )
             if graph is None:
                 found = False
             else:
@@ -459,6 +507,10 @@ class Controller(HostAgent):
     def _log_change(self, change: TopologyChange) -> None:
         if self.replicator is not None:
             self.replicator.append(change)
+        if self.shard_service is not None and change.op != "adopt-view":
+            # Deltas stream into the owning pod shard(s); adopt-view is
+            # handled by the rebuild in adopt_view.
+            self.shard_service.note_topology_change(change.op, change.args)
 
     # ------------------------------------------------------------------
     # link-up reprobing (Section 4.2: "upon receiving link-up
@@ -719,6 +771,7 @@ class Controller(HostAgent):
             tags_to_controller=tags_back,
             your_attachment=(ref.switch, ref.port),
             gossip_neighbors=overlay.get(host, ()),
+            pod=self._pod_of_host(host),
         )
         self.send_tagged(tags_out, announce, dst=host)
 

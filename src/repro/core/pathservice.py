@@ -139,6 +139,12 @@ class PathServiceStats:
     def lookups(self) -> int:
         return self.hits + self.misses
 
+    @property
+    def hit_ratio(self) -> float:
+        """Hits over lookups; 0.0 before the first lookup."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
     def as_dict(self) -> Dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
 

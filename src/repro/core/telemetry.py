@@ -115,6 +115,10 @@ class FabricReport(ReportBase):
     #: The controller's path-service counters (cache hits/misses/
     #: evictions, SSSP tree reuse) at collection time.
     path_service: Dict[str, int] = field(default_factory=dict)
+    #: Per-replica quorum-apply outcomes (applied / reconciled /
+    #: dropped) from the controller's replicated topology store;
+    #: ``dropped`` > 0 flags replica-view divergence.
+    replication: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def controller_cache(self) -> Dict[str, int]:
@@ -136,6 +140,10 @@ class FabricReport(ReportBase):
             },
             "unreachable": sorted(self.unreachable),
             "path_service": dict(self.path_service),
+            "replication": {
+                replica: dict(stats)
+                for replica, stats in sorted(self.replication.items())
+            },
         }
 
     def summary(self) -> str:
@@ -154,6 +162,20 @@ class FabricReport(ReportBase):
                 "path service:       "
                 f"{ps.get('hits', 0)} hits / {ps.get('misses', 0)} misses"
             )
+        if self.replication:
+            applied = sum(s.get("applied", 0) for s in self.replication.values())
+            reconciled = sum(
+                s.get("reconciled", 0) for s in self.replication.values()
+            )
+            dropped = sum(s.get("dropped", 0) for s in self.replication.values())
+            line = (
+                f"replication:        {applied} applied / "
+                f"{reconciled} reconciled across "
+                f"{len(self.replication)} replicas"
+            )
+            if dropped:
+                line += f" -- {dropped} DROPPED (replica divergence)"
+            lines.append(line)
         hottest = self.hottest_ports(3)
         if hottest:
             hot = ", ".join(f"{sw}:{port}={tx}" for sw, port, tx in hottest)
@@ -210,6 +232,12 @@ class TelemetryCollector:
         report = FabricReport(
             path_service=self.controller.path_service.stats.as_dict()
         )
+        replicator = getattr(self.controller, "replicator", None)
+        apply_stats = getattr(replicator, "apply_stats", None)
+        if apply_stats:
+            report.replication = {
+                replica: dict(stats) for replica, stats in apply_stats.items()
+            }
         pending: Dict[int, str] = {}
         for switch in view.switches:
             try:

@@ -321,6 +321,42 @@ def observe_fabric(fabric: Any) -> Observation:
         for counter, value in row["path_service"].items():
             sample(metric_name("dumbnet_path_service", counter, "total"),
                    value, "counter")
+        # Control-plane shards (when enable_sharding is on): per-pod
+        # queries/sec, hit ratio and latency percentiles.
+        shard_service = getattr(controller, "shard_service", None)
+        if shard_service is not None:
+            shard_report = shard_service.report()
+            row["shards"] = shard_report
+            for counter in ("global_queries", "stitched_routes",
+                            "stitch_fallbacks"):
+                sample(metric_name("dumbnet_pathshard", counter, "total"),
+                       shard_report[counter], "counter")
+            for pod, srow in sorted(shard_report["shards"].items()):
+                labels = (("pod", str(pod)),)
+                sample("dumbnet_pathshard_queries_total",
+                       srow["queries"], "counter", labels)
+                sample("dumbnet_pathshard_queries_per_second",
+                       srow["queries_per_s"], "gauge", labels)
+                sample("dumbnet_pathshard_hit_ratio",
+                       srow["hit_ratio"], "gauge", labels)
+                sample("dumbnet_pathshard_p99_latency_seconds",
+                       srow["p99_latency_s"], "gauge", labels)
+                sample("dumbnet_pathshard_alive_replicas",
+                       srow["alive_replicas"], "gauge", labels)
+        # Replica apply outcomes (dropped > 0 flags divergence).
+        replicator = getattr(controller, "replicator", None)
+        apply_stats = getattr(replicator, "apply_stats", None)
+        if apply_stats:
+            row["replication"] = {
+                replica: dict(stats)
+                for replica, stats in sorted(apply_stats.items())
+            }
+            for replica, stats in sorted(apply_stats.items()):
+                labels = (("replica", replica),)
+                for counter, value in stats.items():
+                    sample(metric_name("dumbnet_replica_apply", counter,
+                                       "total"),
+                           value, "counter", labels)
         data["controller"] = row
 
     # Live hub metrics (only present when the fabric was built with

@@ -15,6 +15,7 @@ from .traces import (
     mean_flow_bits,
     sample_flow_bits,
 )
+from .storm import StormEvent, path_query_storm
 from .traffic import (
     all_to_all_pairs,
     hotspot_pairs,
@@ -39,6 +40,8 @@ __all__ = [
     "hotspot_pairs",
     "pareto_flow_bits",
     "poisson_arrivals",
+    "StormEvent",
+    "path_query_storm",
     "IncastSpec",
     "incast_flows",
     "run_incast_fluid",

@@ -1,0 +1,127 @@
+"""Open-loop control-plane storms: path queries + host joins.
+
+The control-plane scale-out benchmark needs a workload that stresses
+the sharded path service the way a busy data center does: a steady
+open-loop stream of path queries (mostly pod-local, some cross-pod --
+the classic DC locality mix) interleaved with host join events (new
+VMs/servers attaching to free edge ports, each one a replicated
+``host-up`` commit on its pod's shard).
+
+Open-loop means arrival times come from independent Poisson processes
+and do **not** wait for service: the consumer drains events as fast as
+it can and the generator's timestamps define offered load.  Everything
+is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["StormEvent", "path_query_storm"]
+
+
+@dataclass(frozen=True)
+class StormEvent:
+    """One offered-load event.
+
+    ``kind`` is ``"query"`` (args = (src switch, dst switch)) or
+    ``"host-join"`` (args = (host name, switch, port) -- a free port at
+    generation time, usable directly as a ``host-up`` TopologyChange).
+    """
+
+    time: float
+    kind: str
+    args: Tuple
+
+
+def path_query_storm(
+    view,
+    pod_of: Callable[[str], Optional[str]],
+    *,
+    duration_s: float = 1.0,
+    query_rate_per_s: float = 1000.0,
+    join_rate_per_s: float = 0.0,
+    locality: float = 0.8,
+    seed: int = 0,
+    host_prefix: str = "storm",
+) -> List[StormEvent]:
+    """An open-loop storm over ``view``'s switch fabric.
+
+    ``pod_of`` maps a switch name to its pod (``None`` = core tier);
+    queries pick a pod-bearing source switch and, with probability
+    ``locality``, a destination in the same pod, otherwise one in a
+    different pod.  Joins consume distinct free switch ports (edge-most
+    first: switches with hosts already attached are preferred, matching
+    where real servers land) and never reuse a port within one storm.
+
+    Returns events sorted by time.  Deterministic for a given seed.
+    """
+    if not 0.0 <= locality <= 1.0:
+        raise ValueError(f"locality must be in [0, 1], got {locality}")
+    rng = random.Random(seed)
+    by_pod = {}
+    for sw in view.switches:
+        pod = pod_of(sw)
+        if pod is not None:
+            by_pod.setdefault(pod, []).append(sw)
+    pods = sorted(by_pod)
+    if len(pods) < 2 and locality < 1.0:
+        raise ValueError("cross-pod queries need at least two pods")
+
+    events: List[StormEvent] = []
+
+    # Query arrivals.
+    t = 0.0
+    if query_rate_per_s > 0:
+        while True:
+            t += rng.expovariate(query_rate_per_s)
+            if t >= duration_s:
+                break
+            src_pod = rng.choice(pods)
+            src = rng.choice(by_pod[src_pod])
+            if rng.random() < locality and len(by_pod[src_pod]) > 1:
+                dst = src
+                while dst == src:
+                    dst = rng.choice(by_pod[src_pod])
+            else:
+                dst_pod = src_pod
+                while dst_pod == src_pod:
+                    dst_pod = rng.choice(pods)
+                dst = rng.choice(by_pod[dst_pod])
+            events.append(StormEvent(time=t, kind="query", args=(src, dst)))
+
+    # Join arrivals, each consuming one distinct free port.  Prefer
+    # switches that already bear hosts (edge switches).
+    if join_rate_per_s > 0:
+        free_ports: List[Tuple[str, int]] = []
+        hostful = [sw for sw in view.switches if view.hosts_on(sw)]
+        hostless = [
+            sw
+            for sw in view.switches
+            if not view.hosts_on(sw) and pod_of(sw) is not None
+        ]
+        for sw in hostful + hostless:
+            for port in range(1, view.num_ports(sw) + 1):
+                if view.peer(sw, port) is None:
+                    free_ports.append((sw, port))
+        t = 0.0
+        joined = 0
+        while free_ports:
+            t += rng.expovariate(join_rate_per_s)
+            if t >= duration_s:
+                break
+            index = rng.randrange(len(free_ports))
+            sw, port = free_ports.pop(index)
+            joined += 1
+            events.append(
+                StormEvent(
+                    time=t,
+                    kind="host-join",
+                    args=(f"{host_prefix}{joined}", sw, port),
+                )
+            )
+
+    events.sort(key=lambda e: e.time)
+    return events

@@ -135,6 +135,121 @@ class TestSerializationRoundTrip:
         assert clone.same_wiring(result.view)
 
 
+class TestFailoverBugfixes:
+    def test_planned_failover_then_crash_succeeds(self):
+        """Regression: failover() used to crash the ex-primary's quorum
+        node, so a real fail_primary() right after found 2 of 3 nodes
+        dead and no electable majority."""
+        network, agents, plane, _tracer = build_plane()
+        plane.failover()
+        network.run_until_idle()
+        alive = sum(
+            1 for node in plane.store.cluster.nodes.values() if node.alive
+        )
+        assert alive == 3, "planned failover shrank the quorum"
+        new_primary = plane.fail_primary()
+        network.run_until_idle()
+        assert plane.current_primary is new_primary
+        network.fail_link("leaf3", 1, "spine0", 4)
+        network.run_until_idle()
+        assert not new_primary.view.has_link("leaf3", 1, "spine0", 4)
+
+    def test_promote_trusts_host_device_power_state(self):
+        """Regression: _promote read the Controller object's .powered
+        while fail_primary powers off network.hosts[name]; when those
+        are different objects the view edit and the standby-pool
+        decision disagreed (a dark host kept serving as a standby)."""
+        network, agents, plane, _tracer = build_plane()
+        old = plane.current_primary
+
+        class DarkHost:
+            powered = False
+
+        original = network.hosts[old.name]
+        network.hosts[old.name] = DarkHost()
+        try:
+            new_primary = plane.failover()
+        finally:
+            network.hosts[old.name] = original
+        assert old.powered  # the controller object still says "up" ...
+        # ... but the device is the source of truth: BOTH decisions
+        # must treat the old primary as dead.
+        assert old not in plane.standbys
+        assert not new_primary.view.has_host(old.name)
+
+    def test_reinstated_ex_primary_promoted_a_second_time(self):
+        """An ex-primary that crashed, recovered and was reinstated must
+        be promotable again with a caught-up replica view."""
+        network, agents, plane, _tracer = build_plane()
+        old = plane.current_primary
+        plane.fail_primary()
+        network.run_until_idle()
+        plane.reinstate(old)
+        assert old in plane.standbys
+        promoted = plane.failover(prefer=old.name)
+        network.run_until_idle()
+        assert promoted is old
+        assert plane.current_primary is old
+        network.fail_link("leaf4", 2, "spine1", 5)
+        network.run_until_idle()
+        assert not old.view.has_link("leaf4", 2, "spine1", 5)
+
+    def test_reinstate_rejects_strangers_and_members(self):
+        network, agents, plane, _tracer = build_plane()
+        with pytest.raises(ReplicationError):
+            plane.reinstate(plane.current_primary)
+        stranger = Controller("ghost", network.loop)
+        with pytest.raises(ReplicationError):
+            plane.reinstate(stranger)
+
+
+class TestApplyReconciliation:
+    def test_divergent_replica_reconverges_with_signal(self):
+        """Regression: apply_change silently skipped a committed link-up
+        whose ports a divergent replica believed occupied, so that
+        replica's view drifted forever with no signal.  Committed
+        records are authoritative: the stale occupant is evicted (and
+        counted) instead."""
+        from repro.consensus.store import ReplicatedTopologyStore
+        from repro.core.messages import TopologyChange
+        from repro.topology.graph import Topology
+
+        topo = Topology()
+        for name in ("s0", "s1", "s2"):
+            topo.add_switch(name, 4)
+        topo.add_link("s0", 1, "s1", 1)
+        store = ReplicatedTopologyStore(["a", "b", "c"], topo)
+        # Diverge replica c behind the quorum's back: it believes a
+        # stale link occupies the port the committed record needs.
+        rogue = store.view_of("c")
+        rogue.remove_link("s0", 1, "s1", 1)
+        rogue.add_link("s0", 1, "s2", 1)
+        store.append(TopologyChange(op="link-up", args=("s0", 1, "s1", 1)))
+        leader = store.primary
+        for name in ("a", "b", "c"):
+            assert store.view_of(name).same_wiring(store.view_of(leader)), name
+        assert store.apply_stats["c"]["reconciled"] >= 1
+        assert store.total_drops() == 0
+
+    def test_fabric_report_surfaces_replica_drops(self):
+        """A committed record that cannot apply at all is counted as
+        dropped per replica and surfaced through FabricReport."""
+        from repro.core.telemetry import TelemetryCollector
+
+        network, agents, plane, _tracer = build_plane()
+        # Diverge h2_0's replica: it already lost the link the quorum
+        # is about to commit down, so the record cannot apply there.
+        plane.store.view_of("h2_0").remove_link("leaf3", 1, "spine0", 4)
+        network.fail_link("leaf3", 1, "spine0", 4)
+        network.run_until_idle()
+        assert plane.store.apply_stats["h2_0"]["dropped"] == 1
+        assert plane.store.total_drops() == 1
+        report = TelemetryCollector(plane.current_primary, network).collect()
+        assert report.replication["h2_0"]["dropped"] == 1
+        assert "DROPPED" in report.summary()
+        assert report.as_dict()["replication"]["h2_0"]["dropped"] == 1
+
+
 class TestStandbyTypeCheck:
     def test_rejection_names_the_offending_type(self):
         """The error must say what was passed, not just refuse."""
