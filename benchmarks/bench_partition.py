@@ -1,0 +1,178 @@
+"""Partitioned-simulation benchmark: fig8a-class discovery, serial vs
+partitioned workers.
+
+Standalone (not a pytest bench -- CI runs it directly):
+
+    PYTHONPATH=src python benchmarks/bench_partition.py [--smoke]
+
+The scenario is the Figure 8(a) 500-switch discovery bootstrap (cube
+(10, 10, 5), 64-port switches, seed 1) run three ways on the *same*
+physics -- a uniform 25 us switch-switch link latency, so the serial
+and partitioned runs simulate the identical fabric and the conservative
+lookahead window is 25 us rather than the 1 us default (fewer, fatter
+coordination rounds):
+
+* serial          -- today's single event loop,
+* inline x4       -- 4 partition loops, one process (coordination
+                     overhead, no parallelism; the determinism oracle),
+* fork x4         -- 4 partition loops, 3 forked workers + the parent.
+
+Equivalence is always enforced: all three must discover byte-identical
+wiring, and fork must reproduce inline's exact window/message schedule.
+The >=2x wall-time floor against serial applies to the fork run and is
+enforced only when the host actually has >= 4 usable cores -- on a
+smaller machine the floor physically cannot hold, so the payload
+records ``floor.enforced: false`` with the measured numbers and the
+reason instead of a vacuous pass.
+
+Results land in ``BENCH_partition.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.core.fabric import DumbNetFabric
+from repro.netsim.network import LinkSpec
+from repro.topology import cube
+
+from _util import REPO_ROOT, publish_json
+
+REQUIRED_SPEEDUP = 2.0
+WORKERS = 4
+
+FULL = {"dims": (10, 10, 5), "num_ports": 64, "switches": 500}
+SMOKE = {"dims": (5, 4, 3), "num_ports": 16, "switches": 60}
+
+#: Switch-switch latency for every link (uniform -- the partitioned and
+#: serial runs simulate the same fabric).  This is also the lookahead.
+LINK_LATENCY_S = 25e-6
+
+
+def usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def view_digest(topology) -> str:
+    import hashlib
+
+    rows = sorted(str(link) for link in topology.links)
+    rows += sorted(f"{h}@{topology.host_port(h)}" for h in topology.hosts)
+    return hashlib.sha256("\n".join(rows).encode()).hexdigest()
+
+
+def run_scenario(scenario: dict, partitions: int, mode: str) -> dict:
+    topo = cube(list(scenario["dims"]), hosts_per_switch=1,
+                num_ports=scenario["num_ports"])
+    assert len(topo.switches) == scenario["switches"]
+    spec = LinkSpec(latency_s=LINK_LATENCY_S)
+    kwargs = {}
+    if partitions > 1:
+        kwargs = {"partitions": partitions, "partition_mode": mode,
+                  "boundary_link_spec": spec}
+    fabric = DumbNetFabric(
+        topo, controller_host=topo.hosts[0], seed=1, link_spec=spec, **kwargs
+    )
+    t0 = time.perf_counter()
+    result = fabric.bootstrap()
+    wall = time.perf_counter() - t0
+    row = {
+        "partitions": partitions,
+        "mode": "serial" if partitions == 1 else mode,
+        "wall_s": round(wall, 3),
+        "modeled_s": round(result.stats.elapsed_s, 6),
+        "probes": result.stats.probes_sent,
+        "view_digest": view_digest(result.view),
+    }
+    report = fabric.partition_report()
+    if report is not None:
+        row["rounds"] = report["rounds"]
+        row["messages"] = report["messages"]
+        row["boundary_links"] = report["boundary_links"]
+        row["lookahead_s"] = report["lookahead_s"]
+    fabric.shutdown()
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI mode: 60-switch scenario, 2 partitions, correctness only",
+    )
+    opts = parser.parse_args(argv)
+
+    scenario = SMOKE if opts.smoke else FULL
+    workers = 2 if opts.smoke else WORKERS
+    cores = usable_cores()
+
+    serial = run_scenario(scenario, 1, "serial")
+    print(f"[serial]   {serial}")
+    inline = run_scenario(scenario, workers, "inline")
+    print(f"[inline{workers}]  {inline}")
+    fork = run_scenario(scenario, workers, "fork")
+    print(f"[fork{workers}]    {fork}")
+
+    floor_enforced = cores >= workers and not opts.smoke
+    payload = {
+        "schema": "bench-partition/1",
+        "mode": "smoke" if opts.smoke else "full",
+        "cpu_count": cores,
+        "scenario": {
+            "switches": scenario["switches"],
+            "dims": list(scenario["dims"]),
+            "num_ports": scenario["num_ports"],
+            "seed": 1,
+            "link_latency_s": LINK_LATENCY_S,
+            "workers": workers,
+        },
+        "serial": serial,
+        "inline": inline,
+        "fork": fork,
+        "speedup_inline": round(serial["wall_s"] / inline["wall_s"], 3),
+        "speedup_fork": round(serial["wall_s"] / fork["wall_s"], 3),
+        "floor": {
+            "required_speedup": REQUIRED_SPEEDUP,
+            "enforced": floor_enforced,
+            "reason": (
+                "enforced: host has enough cores for the worker count"
+                if floor_enforced else
+                f"not enforced: host exposes {cores} usable core(s) for "
+                f"{workers} workers"
+                + ("; smoke mode checks correctness only" if opts.smoke else "")
+            ),
+        },
+    }
+    publish_json(
+        "bench_partition", payload,
+        path=os.path.join(REPO_ROOT, "BENCH_partition.json"),
+    )
+
+    # Equivalence gates run in every mode: the parallel backend is only
+    # admissible while it reproduces the serial simulator's answers.
+    if not (serial["view_digest"] == inline["view_digest"] == fork["view_digest"]):
+        print("FAIL: partitioned discovery diverged from serial wiring")
+        return 1
+    if serial["probes"] != inline["probes"] or serial["probes"] != fork["probes"]:
+        print("FAIL: probe counts diverged across backends")
+        return 1
+    if (inline["rounds"], inline["messages"]) != (fork["rounds"], fork["messages"]):
+        print("FAIL: fork coordinator diverged from the inline schedule")
+        return 1
+    if floor_enforced and payload["speedup_fork"] < REQUIRED_SPEEDUP:
+        print(f"FAIL: fork x{workers} speedup {payload['speedup_fork']}x "
+              f"below the {REQUIRED_SPEEDUP}x floor")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -325,17 +325,20 @@ class ChaosRunner:
         else:
             raise RuntimeError(f"bad channel target {args!r}")
         if kind == "loss-start":
-            channel.loss_rate = value_args[0]
+            op = lambda: setattr(channel, "loss_rate", value_args[0])
         elif kind == "loss-end":
-            channel.loss_rate = 0.0
+            op = lambda: setattr(channel, "loss_rate", 0.0)
         elif kind == "delay-start":
-            channel.extra_latency_s = value_args[0]
+            op = lambda: setattr(channel, "extra_latency_s", value_args[0])
         elif kind == "delay-end":
-            channel.extra_latency_s = 0.0
+            op = lambda: setattr(channel, "extra_latency_s", 0.0)
         elif kind == "dup-start":
-            channel.duplicate_rate = value_args[0]
+            op = lambda: setattr(channel, "duplicate_rate", value_args[0])
         else:
-            channel.duplicate_rate = 0.0
+            op = lambda: setattr(channel, "duplicate_rate", 0.0)
+        # Knob changes must land in the owning partition's loop, like
+        # every other fault (no-op routing when unpartitioned).
+        network.route_channel_op(channel, op)
 
     # ------------------------------------------------------------------
     # background workload + continuous checks
@@ -439,7 +442,20 @@ class ChaosRunner:
         """Schedule the timeline's fault applications on the fabric's
         loop WITHOUT invariant ticks or quiesce verification.  For
         benchmarks that drive their own workload and measurement but
-        want scripted, resolver-capable fault timing."""
+        want scripted, resolver-capable fault timing.
+
+        On a partitioned fabric the applications fire in partition 0's
+        loop and each fault is routed into the owning partition's loop
+        (exact, because partition 0 runs first in every window).  Fork
+        mode cannot mutate remote partitions -- chaos runs need
+        ``partition_mode="inline"``.
+        """
+        sim = getattr(self.fabric.network, "sim", None)
+        if sim is not None and sim.mode == "fork":
+            raise ValueError(
+                "ChaosRunner needs a shared address space to inject "
+                "faults; use partition_mode='inline' (or partitions=1)"
+            )
         for event in self.schedule.events():
             self.fabric.loop.schedule(event.time, self._apply, event)
 

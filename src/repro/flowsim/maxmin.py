@@ -10,12 +10,20 @@ demand caps: repeatedly find the most constrained link (smallest fair
 share among its unfrozen flows), freeze those flows at that share, and
 subtract.  Flows whose demand is below their would-be share freeze at
 their demand instead.
+
+A route may cross the same link more than once (a hairpin through an
+uplink, a detour that re-enters a pod).  Such a flow consumes its rate
+once *per crossing*, so a link's fair share divides its residual by the
+total crossing count, not the distinct-flow count -- and freezing
+subtracts ``rate * multiplicity``.  The two bookkeeping sides agree, so
+residual capacity can only go negative by float dust; anything larger
+raises :class:`FairnessError` instead of being silently clamped.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Mapping, Optional, Sequence
 
 __all__ = ["max_min_rates", "FairnessError"]
 
@@ -24,7 +32,8 @@ FlowId = Hashable
 
 
 class FairnessError(ValueError):
-    """Inconsistent inputs: unknown links, non-positive capacities."""
+    """Inconsistent inputs: unknown links, non-positive capacities,
+    negative demands -- or an internal overcommit (a bug)."""
 
 
 def max_min_rates(
@@ -34,38 +43,58 @@ def max_min_rates(
 ) -> Dict[FlowId, float]:
     """Allocate max-min fair rates.
 
-    ``flow_routes`` maps flow id -> the links it crosses; ``capacities``
-    maps link -> capacity (any consistent unit); ``demands`` optionally
-    caps individual flows.  Flows with empty routes get their demand
-    (or +inf -- caller beware).  Returns flow id -> rate.
+    ``flow_routes`` maps flow id -> the links it crosses (a link listed
+    twice consumes the flow's rate twice); ``capacities`` maps link ->
+    capacity (any consistent unit); ``demands`` optionally caps
+    individual flows and must be non-negative.  Flows with empty routes
+    get their demand (or +inf -- caller beware).  Returns flow id ->
+    rate.
     """
     demands = demands or {}
+    for flow, demand in demands.items():
+        if not demand >= 0:  # also rejects NaN
+            raise FairnessError(f"negative demand for flow {flow!r}: {demand!r}")
     rates: Dict[FlowId, float] = {}
-    active: Dict[FlowId, Tuple[LinkId, ...]] = {}
+    # flow -> {link: crossings}; insertion order follows the route.
+    active: Dict[FlowId, Dict[LinkId, int]] = {}
     for flow, route in flow_routes.items():
+        crossings: Dict[LinkId, int] = {}
         for link in route:
             if link not in capacities:
                 raise FairnessError(f"flow {flow!r} crosses unknown link {link!r}")
-        active[flow] = tuple(route)
+            crossings[link] = crossings.get(link, 0) + 1
+        active[flow] = crossings
 
     residual: Dict[LinkId, float] = {}
-    users: Dict[LinkId, set] = {}
+    users: Dict[LinkId, Dict[FlowId, int]] = {}
+    weight: Dict[LinkId, int] = {}  # sum of users[link] multiplicities
     for link, cap in capacities.items():
         if cap <= 0:
             raise FairnessError(f"non-positive capacity on {link!r}")
         residual[link] = float(cap)
-        users[link] = set()
-    for flow, route in active.items():
-        for link in route:
-            users[link].add(flow)
+        users[link] = {}
+        weight[link] = 0
+    for flow, crossings in active.items():
+        for link, mult in crossings.items():
+            users[link][flow] = mult
+            weight[link] += mult
 
     def freeze(flow: FlowId, rate: float) -> None:
         rates[flow] = rate
-        for link in active[flow]:
-            residual[link] -= rate
-            if residual[link] < 0:
-                residual[link] = 0.0
-            users[link].discard(flow)
+        for link, mult in active[flow].items():
+            left = residual[link] - rate * mult
+            if left < 0.0:
+                # Fair shares divide by the same multiplicities freeze
+                # subtracts, so only rounding dust can land here.
+                if left < -1e-9 * float(capacities[link]):
+                    raise FairnessError(
+                        f"overcommitted link {link!r} by {-left!r} "
+                        f"freezing flow {flow!r} at {rate!r}"
+                    )
+                left = 0.0
+            residual[link] = left
+            del users[link][flow]
+            weight[link] -= mult
         del active[flow]
 
     # Flows with no capacity constraint at all freeze at their demand.
@@ -74,12 +103,13 @@ def max_min_rates(
             freeze(flow, float(demands.get(flow, math.inf)))
 
     while active:
-        # The fair increment every remaining flow could still take.
+        # The fair increment every remaining flow could still take: a
+        # flow crossing a link m times eats m units of weight there.
         bottleneck_share = math.inf
         for link, flows_on in users.items():
             if not flows_on:
                 continue
-            share = residual[link] / len(flows_on)
+            share = residual[link] / weight[link]
             if share < bottleneck_share:
                 bottleneck_share = share
         # Demand-capped flows below the share freeze first.
@@ -104,8 +134,11 @@ def max_min_rates(
             flows_on = users[link]
             if not flows_on:
                 continue
-            share = residual[link] / len(flows_on)
+            share = residual[link] / weight[link]
             if share <= bottleneck_share + 1e-15:
+                # Dict order = first-crossing order, so the freeze
+                # sequence is deterministic (the old set iterated in
+                # str-hash order, randomized across runs).
                 for flow in list(flows_on):
                     freeze(flow, bottleneck_share)
                     froze_any = True

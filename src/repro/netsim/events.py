@@ -114,8 +114,24 @@ class EventLoop:
         return handle
 
     def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> EventHandle:
-        """Run ``callback(*args)`` at an absolute simulated time."""
-        return self.schedule(time - self.now, callback, *args)
+        """Run ``callback(*args)`` at an absolute simulated time.
+
+        The stored deadline is exactly ``time``: delegating to
+        :meth:`schedule` with ``time - now`` would store
+        ``now + (time - now)``, which under floating point need not
+        equal ``time`` (e.g. ``now=0.1, time=0.3`` rounds up by one
+        ulp), so an event aimed at the same instant through
+        :meth:`call_at` could fire first despite being scheduled later
+        -- or straddle a partition's lookahead window.
+        """
+        if time < self.now:
+            raise SimulationError(f"cannot schedule in the past (time={time})")
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, callback, args, self)
+        heappush(self._heap, (time, seq, handle, None))
+        self._live += 1
+        return handle
 
     def call_after(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
         """Fire-and-forget :meth:`schedule`: no handle, no cancellation.
@@ -156,6 +172,23 @@ class EventLoop:
     @property
     def events_run(self) -> int:
         return self._events_run
+
+    def next_event_time(self) -> Optional[float]:
+        """Deadline of the earliest *live* event, or None when idle.
+
+        Pops cancelled entries off the top while peeking (adjusting the
+        dead count), so repeated calls are amortized O(1).  This is the
+        probe the partition coordinator uses to size lookahead windows.
+        """
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[3] is None and entry[2].callback is None:
+                heappop(heap)
+                self._dead -= 1
+                continue
+            return entry[0]
+        return None
 
     def _compact(self) -> None:
         """Drop cancelled handle entries and restore the heap invariant.

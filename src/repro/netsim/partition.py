@@ -1,0 +1,739 @@
+"""Partition-aware parallel simulation: per-partition event loops.
+
+The serial :class:`~repro.netsim.events.EventLoop` makes production-
+scale topologies (a k=64 fat-tree is 5,120 switches) unreachable: fig8a
+discovery at 500 switches already runs ~30M events.  This module splits
+the fabric into partitions -- by pod, by cube region, or by balanced
+BFS growth -- and runs one event loop per partition, coupled only where
+cables cross a partition boundary.  That is the loose message-channel
+composition SimBricks uses between component simulators: a cross-
+partition frame becomes a message with a future arrival time instead of
+a heap push into a foreign loop.
+
+Correctness rests on conservative lookahead.  Let ``L`` be the minimum,
+over all boundary channels, of ``min(latency_s, detection_delay_s)``.
+A window starts at the globally earliest pending event time ``nxt`` and
+ends at ``we = nxt + L``.  Every partition may run to ``we`` without
+coordination because anything a peer sends during the window was sent
+at ``t >= nxt`` and therefore arrives at ``t + latency >= we`` -- after
+the window.  Port-state changes propagate the same way: the remote side
+of a boundary cable learns of a cut after the PHY detection delay,
+which is also ``>= L``.  Messages collected during a window are
+injected (in a deterministic order) before the next window runs.
+
+Two coordinators share the window protocol:
+
+* **inline** -- all loops in one process, advanced sequentially in
+  ascending partition order per window.  Deterministic, supports fault
+  injection (ops are routed into the owning partition's loop), and is
+  the reference implementation the fork mode is tested against.
+* **fork** -- POSIX fork one worker per extra partition (the parent
+  keeps partition 0, which the fabric roots at the controller's switch
+  so discovery drivers keep working untouched).  Fork inherits the
+  whole object graph, so nothing is pickled at setup; only boundary
+  frames and window commands cross process boundaries.  Runtime
+  topology mutation (faults, hotplug) is not supported under fork.
+
+The single-partition case never enters the window protocol: ``run`` /
+``run_until_idle`` delegate straight to the one loop, byte-identical to
+the serial simulator (the pinned golden digests are the oracle).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .channel import Channel
+from .events import EventLoop, SimulationError
+
+__all__ = ["PartitionPlan", "BoundaryChannel", "PartitionedSimulation"]
+
+_POD_RE = re.compile(r"^(?:edge|agg)(\d+)_")
+_GRID_RE = re.compile(r"^c(\d+)(?:_\d+)*$")
+
+
+class PartitionPlan:
+    """An assignment of every switch to a partition id.
+
+    Hosts are not assigned explicitly: a host always lives with the
+    switch it is cabled to, so host links never cross a boundary (they
+    are the hottest channels in discovery -- keeping them local is what
+    makes partitioning pay).
+    """
+
+    def __init__(self, assignment: Mapping[str, int], num_partitions: int) -> None:
+        if num_partitions < 1:
+            raise ValueError(f"need at least one partition, got {num_partitions}")
+        for sw, pid in assignment.items():
+            if not 0 <= pid < num_partitions:
+                raise ValueError(
+                    f"switch {sw!r} assigned to partition {pid} "
+                    f"outside [0, {num_partitions})"
+                )
+        self.assignment: Dict[str, int] = dict(assignment)
+        self.num_partitions = num_partitions
+
+    def pid_of(self, switch: str) -> int:
+        try:
+            return self.assignment[switch]
+        except KeyError:
+            raise SimulationError(
+                f"switch {switch!r} is not covered by the partition plan"
+            ) from None
+
+    def sizes(self) -> List[int]:
+        out = [0] * self.num_partitions
+        for pid in self.assignment.values():
+            out[pid] += 1
+        return out
+
+    def rooted_at(self, switch: str) -> "PartitionPlan":
+        """Renumber so ``switch``'s partition becomes partition 0.
+
+        The fork coordinator keeps partition 0 in the parent process;
+        rooting it at the controller's edge switch keeps the discovery
+        driver (plain Python calling controller methods) in the parent.
+        """
+        home = self.pid_of(switch)
+        if home == 0:
+            return self
+        swap = {home: 0, 0: home}
+        return PartitionPlan(
+            {sw: swap.get(pid, pid) for sw, pid in self.assignment.items()},
+            self.num_partitions,
+        )
+
+    # ------------------------------------------------------------------
+    # constructors
+
+    @classmethod
+    def from_pods(
+        cls,
+        topology: Any,
+        num_partitions: int,
+        pod_fn: Optional[Callable[[str], Optional[str]]] = None,
+    ) -> "PartitionPlan":
+        """Group fat-tree pods into partitions; the core tier joins 0.
+
+        ``pod_fn`` maps a switch name to its pod id (``None`` = core).
+        Pods are dealt round-robin onto partitions in sorted-pod order,
+        so the cut runs only through pod<->core cables.
+        """
+        if pod_fn is None:
+            pod_fn = lambda sw: (m := _POD_RE.match(sw)) and m.group(1)
+        pods: Dict[Optional[str], List[str]] = {}
+        for sw in topology.switches:
+            pods.setdefault(pod_fn(sw), []).append(sw)
+        named = sorted(p for p in pods if p is not None)
+        if not named:
+            raise SimulationError(
+                "no pod-named switches found; use grid() or balanced()"
+            )
+        assignment: Dict[str, int] = {}
+        for i, pod in enumerate(named):
+            for sw in pods[pod]:
+                assignment[sw] = i % num_partitions
+        for sw in pods.get(None, ()):  # core switches
+            assignment[sw] = 0
+        return cls(assignment, num_partitions)
+
+    @classmethod
+    def grid(cls, topology: Any, num_partitions: int) -> "PartitionPlan":
+        """Slice cube/torus switches (``c{x}_{y}_...``) into contiguous
+        slabs along the first coordinate -- each boundary is one plane
+        of cables."""
+        coords: Dict[str, int] = {}
+        for sw in topology.switches:
+            m = _GRID_RE.match(sw)
+            if not m:
+                raise SimulationError(
+                    f"switch {sw!r} does not look like a cube switch; "
+                    f"use balanced()"
+                )
+            coords[sw] = int(m.group(1))
+        span = max(coords.values()) + 1
+        if num_partitions > span:
+            raise SimulationError(
+                f"cannot cut a {span}-wide grid into {num_partitions} slabs"
+            )
+        assignment = {
+            sw: min(x * num_partitions // span, num_partitions - 1)
+            for sw, x in coords.items()
+        }
+        return cls(assignment, num_partitions)
+
+    @classmethod
+    def balanced(cls, topology: Any, num_partitions: int) -> "PartitionPlan":
+        """Topology-agnostic fallback: grow ``num_partitions`` regions by
+        breadth-first rounds from spread-out seeds.  Deterministic (seeds
+        and visit order follow the topology's switch ordering)."""
+        switches = list(topology.switches)
+        if num_partitions > len(switches):
+            raise SimulationError(
+                f"{num_partitions} partitions for {len(switches)} switches"
+            )
+        # Seeds: first switch, then repeatedly the switch farthest from
+        # every seed so far (ties broken by insertion order).
+        seeds = [switches[0]]
+        dist = dict(topology.switch_distances(seeds[0]))
+        while len(seeds) < num_partitions:
+            far = max(switches, key=lambda sw: dist.get(sw, -1))
+            seeds.append(far)
+            for sw, d in topology.switch_distances(far).items():
+                if d < dist.get(sw, float("inf")):
+                    dist[sw] = d
+        assignment: Dict[str, int] = {sw: i for i, sw in enumerate(seeds)}
+        frontiers: List[List[str]] = [[sw] for sw in seeds]
+        claimed = len(seeds)
+        while claimed < len(switches):
+            grew = False
+            for pid in range(num_partitions):
+                nxt: List[str] = []
+                for sw in frontiers[pid]:
+                    for nb in topology.neighbors(sw):
+                        if nb not in assignment:
+                            assignment[nb] = pid
+                            nxt.append(nb)
+                            claimed += 1
+                            grew = True
+                frontiers[pid] = nxt
+            if not grew:  # disconnected leftovers join partition 0
+                for sw in switches:
+                    if sw not in assignment:
+                        assignment[sw] = 0
+                        claimed += 1
+        return cls(assignment, num_partitions)
+
+    @classmethod
+    def auto(cls, topology: Any, num_partitions: int) -> "PartitionPlan":
+        """Pick the best-fitting rule for the topology's naming scheme."""
+        switches = topology.switches
+        if any(_POD_RE.match(sw) for sw in switches):
+            return cls.from_pods(topology, num_partitions)
+        if switches and all(_GRID_RE.match(sw) for sw in switches):
+            return cls.grid(topology, num_partitions)
+        return cls.balanced(topology, num_partitions)
+
+
+class BoundaryChannel(Channel):
+    """A cable whose two ends live in different partitions.
+
+    Frames do not heap-push into the receiving loop; they go to the
+    coordinator's outbox with their computed arrival time and are
+    injected into the owning loop at the next window boundary.  Port
+    state is per-end (``_side_up``): the end that initiates a cut (or
+    whose device powers off) sees it immediately, the remote end both
+    applies and learns of it after the PHY detection delay -- which the
+    lookahead contract guarantees lands in a later window.
+
+    Fault *knobs* (loss, jitter, duplication, extra latency) are not
+    supported on boundary cables: they would need cross-process rng
+    agreement.  Cut/restore is fully supported.
+    """
+
+    def __init__(
+        self,
+        sim: "PartitionedSimulation",
+        end_pids: Tuple[int, int],
+        end_loops: Tuple[EventLoop, EventLoop],
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(end_loops[0], **kwargs)
+        if self._jitter_s and self.rng is not None:
+            raise SimulationError("boundary channels do not support jitter")
+        self._sim = sim
+        self.end_pids = end_pids
+        self.end_loops = end_loops
+        self._side_up = [True, True]
+        self.chan_idx = sim._register(self)
+
+    # -- fault knobs are rejected (see class docstring) ----------------
+
+    def _knob(self, name: str, value: float) -> None:
+        if value:
+            raise SimulationError(
+                f"boundary channels do not support {name}; put the fault "
+                f"on an intra-partition link or run unpartitioned"
+            )
+
+    @Channel.jitter_s.setter
+    def jitter_s(self, value: float) -> None:
+        self._knob("jitter_s", value)
+
+    @Channel.loss_rate.setter
+    def loss_rate(self, value: float) -> None:
+        self._knob("loss_rate", value)
+
+    @Channel.duplicate_rate.setter
+    def duplicate_rate(self, value: float) -> None:
+        self._knob("duplicate_rate", value)
+
+    @Channel.extra_latency_s.setter
+    def extra_latency_s(self, value: float) -> None:
+        self._knob("extra_latency_s", value)
+
+    # ------------------------------------------------------------------
+
+    def transmit(self, sender: Any, packet: Any, size_bits: float) -> bool:
+        if not (self.up and self._side_up[sender.index]):
+            self.frames_dropped += 1
+            return False
+        receiver = sender.peer
+        if receiver.device is None:
+            self.frames_dropped += 1
+            return False
+        loop = self.end_loops[sender.index]
+        start = sender.busy_until
+        now = loop.now
+        if start < now:
+            start = now
+        bandwidth = self.bandwidth_bps
+        free = start + size_bits / bandwidth if bandwidth else start
+        sender.busy_until = free
+        arrival = free + self.latency_s
+        if arrival < sender.last_arrival:
+            arrival = sender.last_arrival
+        else:
+            sender.last_arrival = arrival
+        stats = self._stats
+        if stats is not None:
+            stats.frames += 1
+            stats.bits += size_bits
+            stats.wait_s += start - now
+        obs = self._obs_wait
+        if obs is not None:
+            obs.observe(start - now)
+        self._sim._post(
+            self.end_pids[receiver.index],
+            arrival,
+            self.chan_idx,
+            receiver.index,
+            packet,
+        )
+        return True
+
+    def _deliver_remote(self, end_idx: int, packet: Any) -> None:
+        """Arrival event in the receiving partition's loop."""
+        if not (self.up and self._side_up[end_idx]):
+            self.frames_dropped += 1
+            return
+        self.frames_delivered += 1
+        end = self.ends[end_idx]
+        end._recv_cb(end.port, packet)
+
+    # ------------------------------------------------------------------
+    # physical state
+
+    def set_up(self, up: bool) -> None:
+        """Cut or restore the cable.
+
+        Outside a window (driver code between runs, clocks synchron-
+        ized): both sides apply immediately and both devices are
+        notified after the detection delay, matching the serial
+        :meth:`Channel.set_up`.  Inside a window (an event in one
+        partition, e.g. a neighbouring switch powering off): the
+        initiating side applies now, the remote side both applies and
+        notifies at ``t + detection_delay`` via a state message --
+        physically, each end's PHY detects loss of light independently.
+        """
+        if up == self.up:
+            return
+        self.up = up
+        running = self._sim._running_pid
+        delay = self.detection_delay_s
+        if running is None:
+            for idx, end in enumerate(self.ends):
+                self._side_up[idx] = up
+                if not up:
+                    end.busy_until = 0.0
+                    end.last_arrival = 0.0
+                if end.device is not None:
+                    self.end_loops[idx].schedule(
+                        delay, end.device.port_state_changed, end.port, up
+                    )
+            return
+        local = 0 if self.end_pids[0] == running else 1
+        remote = 1 - local
+        self._apply_side(local, up, notify_delay=delay)
+        self._sim._post_state(
+            self.end_pids[remote],
+            self.end_loops[local].now + delay,
+            self.chan_idx,
+            remote,
+            up,
+        )
+
+    def _apply_side(self, idx: int, up: bool, notify_delay: float = 0.0) -> None:
+        self._side_up[idx] = up
+        end = self.ends[idx]
+        if not up:
+            end.busy_until = 0.0
+            end.last_arrival = 0.0
+        if end.device is not None:
+            self.end_loops[idx].schedule(
+                notify_delay, end.device.port_state_changed, end.port, up
+            )
+
+    def _apply_remote_state(self, end_idx: int, up: bool) -> None:
+        """State-message arrival: flip and notify at the same instant.
+
+        Also syncs the aggregate ``up`` flag -- in fork mode this runs
+        on the remote process's *copy* of the channel, which never saw
+        the initiator's :meth:`set_up`.
+        """
+        self.up = up
+        self._apply_side(end_idx, up, notify_delay=0.0)
+
+
+class _Worker:
+    """Parent-side handle for one forked partition worker."""
+
+    __slots__ = ("pid", "proc", "conn", "next_time")
+
+    def __init__(self, pid: int, proc: Any, conn: Any) -> None:
+        self.pid = pid
+        self.proc = proc
+        self.conn = conn
+        self.next_time: Optional[float] = None
+
+
+class PartitionedSimulation:
+    """Coordinates per-partition event loops in lookahead windows.
+
+    Built by :class:`~repro.netsim.network.Network` when constructed
+    with a :class:`PartitionPlan`; drive it through the network's
+    ``run`` / ``run_until_idle`` as usual.
+    """
+
+    def __init__(self, loops: Sequence[EventLoop], mode: str = "inline") -> None:
+        if mode not in ("inline", "fork"):
+            raise ValueError(f"mode must be 'inline' or 'fork', got {mode!r}")
+        self.loops = list(loops)
+        self.mode = mode
+        self.boundary: List[BoundaryChannel] = []
+        self.lookahead: Optional[float] = None
+        # Messages in flight between partitions.  Each entry is
+        # (kind, dest_pid, time, chan_idx, end_idx, payload) with kind
+        # "frame" (payload = packet) or "state" (payload = up flag).
+        self._outbox: List[Tuple] = []
+        self._inflight: List[Tuple] = []
+        self._running_pid: Optional[int] = None
+        self._workers: List[_Worker] = []
+        self._forked = False
+        self._is_child = False
+        self.rounds = 0
+        self.messages = 0
+
+    # ------------------------------------------------------------------
+    # wiring (construction time)
+
+    def _register(self, channel: BoundaryChannel) -> int:
+        self.boundary.append(channel)
+        lat = min(channel.latency_s, channel.detection_delay_s)
+        if lat <= 0.0:
+            raise SimulationError(
+                "boundary links need positive latency and detection delay "
+                "(zero lookahead cannot make progress)"
+            )
+        if self.lookahead is None or lat < self.lookahead:
+            self.lookahead = lat
+        return len(self.boundary) - 1
+
+    # ------------------------------------------------------------------
+    # message plumbing (called by BoundaryChannel and fault routing)
+
+    def _post(
+        self, dest_pid: int, arrival: float, chan_idx: int, end_idx: int, packet: Any
+    ) -> None:
+        self._outbox.append(("frame", dest_pid, arrival, chan_idx, end_idx, packet))
+
+    def _post_state(
+        self, dest_pid: int, when: float, chan_idx: int, end_idx: int, up: bool
+    ) -> None:
+        self._outbox.append(("state", dest_pid, when, chan_idx, end_idx, up))
+
+    def _inject(self, msgs: List[Tuple]) -> None:
+        """Schedule arrived messages into their destination loops.
+
+        Stable-sorted by time so simultaneous arrivals keep their
+        producer order (ascending source partition, send order within
+        it) -- the coordinator collects outboxes in that order.
+        """
+        for kind, dest_pid, when, chan_idx, end_idx, payload in sorted(
+            msgs, key=lambda m: m[2]
+        ):
+            chan = self.boundary[chan_idx]
+            loop = self.loops[dest_pid]
+            if kind == "frame":
+                loop.schedule_at(
+                    max(when, loop.now), chan._deliver_remote, end_idx, payload
+                )
+            else:
+                loop.schedule_at(
+                    max(when, loop.now), chan._apply_remote_state, end_idx, payload
+                )
+
+    def route_op(self, pid: int, op: Callable[[], None]) -> None:
+        """Run a mutation (fault injection, knob change) in partition
+        ``pid``'s loop.
+
+        Outside a window this is a direct call -- clocks are
+        synchronized, exactly the serial semantics.  Inside a window,
+        an op initiated from the currently running partition runs
+        immediately; one aimed at another partition is scheduled into
+        the owner's loop at the initiator's current time (exact when
+        the owner has not yet run this window -- always true for ops
+        originating in partition 0, where the chaos runner lives).
+        """
+        running = self._running_pid
+        if running is None or running == pid:
+            op()
+            return
+        if self._forked:
+            raise SimulationError(
+                "cross-partition mutation is not supported in fork mode"
+            )
+        owner = self.loops[pid]
+        owner.schedule_at(max(self.loops[running].now, owner.now), op)
+
+    # ------------------------------------------------------------------
+    # the window protocol
+
+    def _next_time(self) -> Optional[float]:
+        """Earliest pending work across loops and in-flight messages."""
+        nxt: Optional[float] = None
+        for worker in self._workers:
+            t = worker.next_time
+            if t is not None and (nxt is None or t < nxt):
+                nxt = t
+        loops = (self.loops[:1] if self._forked else self.loops)
+        for loop in loops:
+            t = loop.next_event_time()
+            if t is not None and (nxt is None or t < nxt):
+                nxt = t
+        for msg in self._inflight:
+            if nxt is None or msg[2] < nxt:
+                nxt = msg[2]
+        return nxt
+
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> int:
+        if len(self.loops) == 1:
+            # Serial fast path: no windows, byte-identical to EventLoop.
+            return self.loops[0].run(until=until, max_events=max_events)
+        if not self.boundary:
+            # Fully disconnected partitions: independent serial runs.
+            total = 0
+            for pid, loop in enumerate(self.loops):
+                self._running_pid = pid
+                try:
+                    total += loop.run(until=until, max_events=max_events)
+                finally:
+                    self._running_pid = None
+            return total
+        if self.mode == "fork":
+            return self._run_forked(until, max_events)
+        return self._run_inline(until, max_events)
+
+    def run_until_idle(self, max_events: int = 50_000_000) -> int:
+        if len(self.loops) == 1:
+            return self.loops[0].run_until_idle(max_events=max_events)
+        executed = self.run(max_events=max_events)
+        if self._next_time() is not None:
+            raise SimulationError(
+                f"simulation did not quiesce within {max_events} events"
+            )
+        return executed
+
+    @property
+    def now(self) -> float:
+        if self._forked:
+            # Child loop objects in the parent's memory are stale copies;
+            # partition 0 reaches every window end, so it carries time.
+            return self.loops[0].now
+        return max(loop.now for loop in self.loops)
+
+    # -- inline --------------------------------------------------------
+
+    def _run_inline(self, until: Optional[float], max_events: Optional[int]) -> int:
+        lookahead = self.lookahead
+        assert lookahead is not None
+        executed = 0
+        budget = float("inf") if max_events is None else max_events
+        while True:
+            nxt = self._next_time()
+            if nxt is None or (until is not None and nxt > until):
+                break
+            we = nxt + lookahead
+            if until is not None and we > until:
+                we = until
+            if self._inflight:
+                ready = [m for m in self._inflight if m[2] <= we]
+                if ready:
+                    self._inflight = [m for m in self._inflight if m[2] > we]
+                    self._inject(ready)
+            self.rounds += 1
+            for pid, loop in enumerate(self.loops):
+                self._running_pid = pid
+                try:
+                    executed += loop.run(until=we)
+                finally:
+                    self._running_pid = None
+            if self._outbox:
+                self.messages += len(self._outbox)
+                self._inflight.extend(self._outbox)
+                self._outbox.clear()
+            if executed >= budget:
+                break
+        if until is not None:
+            for loop in self.loops:
+                if loop.now < until:
+                    loop.run(until=until)  # clock advance only
+        return executed
+
+    # -- fork ----------------------------------------------------------
+
+    def _ensure_forked(self) -> None:
+        if self._forked:
+            return
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        for pid in range(1, len(self.loops)):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=self._child_main, args=(pid, child_conn), daemon=True
+            )
+            proc.start()
+            child_conn.close()
+            worker = _Worker(pid, proc, parent_conn)
+            worker.next_time = parent_conn.recv()[1]  # ("ready", next_time)
+            self._workers.append(worker)
+        self._forked = True
+
+    def _child_main(self, pid: int, conn: Any) -> None:
+        """Worker process: owns exactly one loop, forever in rounds."""
+        self._is_child = True
+        loop = self.loops[pid]
+        conn.send(("ready", loop.next_event_time()))
+        try:
+            while True:
+                cmd = conn.recv()
+                if cmd[0] == "stop":
+                    break
+                _, we, msgs = cmd
+                if msgs:
+                    self._inject(msgs)
+                self._running_pid = pid
+                try:
+                    executed = loop.run(until=we)
+                finally:
+                    self._running_pid = None
+                out = self._outbox
+                self._outbox = []
+                conn.send(("done", loop.next_event_time(), executed, out))
+        except (EOFError, KeyboardInterrupt):
+            pass
+        except Exception as exc:  # surface worker crashes to the parent
+            try:
+                conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            except Exception:
+                pass
+        finally:
+            conn.close()
+            os._exit(0)
+
+    def _run_forked(self, until: Optional[float], max_events: Optional[int]) -> int:
+        self._ensure_forked()
+        loop0 = self.loops[0]
+        lookahead = self.lookahead
+        assert lookahead is not None
+        executed = 0
+        budget = float("inf") if max_events is None else max_events
+        while True:
+            nxt = self._next_time()
+            if nxt is None or (until is not None and nxt > until):
+                break
+            we = nxt + lookahead
+            if until is not None and we > until:
+                we = until
+            ready: Dict[int, List[Tuple]] = {}
+            if self._inflight:
+                keep = []
+                for msg in self._inflight:
+                    if msg[2] <= we:
+                        ready.setdefault(msg[1], []).append(msg)
+                    else:
+                        keep.append(msg)
+                self._inflight = keep
+            self.rounds += 1
+            for worker in self._workers:
+                worker.conn.send(("window", we, ready.get(worker.pid, [])))
+            if 0 in ready:
+                self._inject(ready[0])
+            self._running_pid = 0
+            try:
+                executed += loop0.run(until=we)
+            finally:
+                self._running_pid = None
+            out = self._outbox
+            self._outbox = []
+            for worker in self._workers:
+                reply = worker.conn.recv()
+                if reply[0] == "error":
+                    raise SimulationError(
+                        f"partition {worker.pid} worker failed: {reply[1]}"
+                    )
+                _, worker.next_time, child_executed, child_out = reply
+                executed += child_executed
+                out.extend(child_out)
+            if out:
+                self.messages += len(out)
+                self._inflight.extend(out)
+            if executed >= budget:
+                break
+        if until is not None and loop0.now < until:
+            loop0.run(until=until)
+        return executed
+
+    def shutdown(self) -> None:
+        """Stop forked workers (no-op for inline / never-forked sims)."""
+        if not self._forked or self._is_child:
+            return
+        for worker in self._workers:
+            try:
+                worker.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self._workers:
+            worker.proc.join(timeout=5.0)
+            if worker.proc.is_alive():
+                worker.proc.terminate()
+            worker.conn.close()
+        self._workers.clear()
+        self._forked = False
+
+    # ------------------------------------------------------------------
+
+    def report(self) -> Dict[str, Any]:
+        return {
+            "partitions": len(self.loops),
+            "mode": self.mode,
+            "boundary_links": len(self.boundary),
+            "lookahead_s": self.lookahead,
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "events_run": [loop.events_run for loop in self.loops],
+        }

@@ -86,6 +86,32 @@ class TestMaxMin:
                     shares.append(others_at_or_above)
             assert any(shares), f"{flow} is not max-min constrained"
 
+    def test_duplicate_link_route_counts_multiplicity(self):
+        """Regression: a route crossing the same link twice used to get
+        a fair share computed from the distinct-flow count while freeze
+        subtracted per occurrence -- overcommitting the link and
+        silently clamping the residual, starving later flows."""
+        rates = max_min_rates(
+            {"hairpin": ["L", "L"], "straight": ["L"]},
+            {"L": 9.0},
+        )
+        # Weighted fair share: the hairpin eats 2 units of weight, so
+        # both flows converge at 9/3 = 3 -- and L carries exactly 9.
+        assert rates["hairpin"] == pytest.approx(3.0)
+        assert rates["straight"] == pytest.approx(3.0)
+        used = 2 * rates["hairpin"] + rates["straight"]
+        assert used <= 9.0 + 1e-9
+
+    def test_duplicate_link_solo_flow_gets_half(self):
+        rates = max_min_rates({"f": ["L", "L"]}, {"L": 10.0})
+        assert rates["f"] == pytest.approx(5.0)
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(FairnessError):
+            max_min_rates({"f": ["L"]}, {"L": 1.0}, demands={"f": -0.5})
+        with pytest.raises(FairnessError):
+            max_min_rates({"f": ["L"]}, {"L": 1.0}, demands={"f": float("nan")})
+
     def test_empty_route_gets_demand(self):
         rates = max_min_rates({"f": []}, {}, demands={"f": 3.0})
         assert rates["f"] == 3.0

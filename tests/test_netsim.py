@@ -91,6 +91,48 @@ class TestEventLoop:
         loop.run()
         assert fired == list(range(10))
 
+    def test_schedule_at_exact_deadline_no_float_drift(self):
+        """Regression: schedule_at used to delegate to schedule(time -
+        now), storing ``now + (time - now)`` -- which at now=0.3,
+        time=0.9 is one ulp above 0.9, so a schedule_at aimed at the
+        same instant as a call_at fired *after* it despite being
+        scheduled first (and at now=0.2 one ulp *below*, early enough
+        to straddle a partition's lookahead window)."""
+        loop = EventLoop()
+        order = []
+        loop.schedule(0.3, lambda: None)
+        loop.run()  # advance the clock to exactly 0.3
+        assert loop.now == 0.3
+        handle = loop.schedule_at(0.9, order.append, "schedule_at")
+        loop.call_at(0.9, order.append, "call_at")
+        assert handle.time == 0.9  # exact, not 0.3 + (0.9 - 0.3)
+        loop.run()
+        assert loop.now == 0.9
+        # Equal deadlines fire in scheduling order.
+        assert order == ["schedule_at", "call_at"]
+
+    def test_schedule_at_past_time_rejected(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: None)
+        loop.run()
+        with pytest.raises(SimulationError):
+            loop.schedule_at(0.5, lambda: None)
+        # At exactly now is still legal (zero-delay event).
+        fired = []
+        loop.schedule_at(1.0, fired.append, 1)
+        loop.run()
+        assert fired == [1]
+
+    def test_next_event_time_skips_cancelled(self):
+        loop = EventLoop()
+        early = loop.schedule(1.0, lambda: None)
+        loop.schedule(2.0, lambda: None)
+        assert loop.next_event_time() == 1.0
+        early.cancel()
+        assert loop.next_event_time() == 2.0
+        loop.run()
+        assert loop.next_event_time() is None
+
 
 class Recorder(Device):
     """Test device: logs everything it hears."""

@@ -1,0 +1,310 @@
+"""Partition-aware parallel simulation tests.
+
+The equivalence oracle is layered: ``partitions=1`` must be *byte-
+identical* to the serial loop (pinned golden digest), inline multi-
+partition runs must be deterministic and reach the same discovery
+result as serial, and fork mode must reproduce the inline coordinator's
+window/message schedule exactly.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.core.fabric import DumbNetFabric
+from repro.netsim import LinkSpec, SimulationError
+from repro.netsim.partition import PartitionPlan
+from repro.topology import cube, fat_tree, line, paper_testbed
+
+
+def trace_digest(fabric):
+    blob = "\n".join(
+        f"{ev.time!r}|{ev.category}|{ev.node}|{ev.detail!r}"
+        for ev in fabric.tracer
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def small_cube():
+    return cube((4, 3, 2), num_ports=16)
+
+
+class TestPartitionPlan:
+    def test_grid_slabs_cover_and_are_contiguous(self):
+        topo = small_cube()
+        plan = PartitionPlan.grid(topo, 2)
+        assert sorted(plan.assignment) == sorted(topo.switches)
+        assert plan.sizes() == [12, 12]
+        # Slabs along x: every switch with the same x shares a pid, and
+        # pids are monotone in x.
+        by_x = {}
+        for sw, pid in plan.assignment.items():
+            x = int(sw[1:].split("_")[0])
+            by_x.setdefault(x, set()).add(pid)
+        assert all(len(pids) == 1 for pids in by_x.values())
+        order = [pids.pop() for x, pids in sorted(by_x.items())]
+        assert order == sorted(order)
+
+    def test_from_pods_groups_pods_and_core_joins_zero(self):
+        topo = fat_tree(4)
+        plan = PartitionPlan.from_pods(topo, 4)
+        for sw in topo.switches:
+            if sw.startswith(("edge", "agg")):
+                pod = int(sw[3:].split("_")[0] if sw.startswith("agg")
+                          else sw[4:].split("_")[0])
+                assert plan.pid_of(sw) == pod % 4
+            else:
+                assert plan.pid_of(sw) == 0
+
+    def test_balanced_covers_every_switch(self):
+        topo = line(10)
+        plan = PartitionPlan.balanced(topo, 3)
+        assert sorted(plan.assignment) == sorted(topo.switches)
+        assert all(size > 0 for size in plan.sizes())
+
+    def test_auto_dispatches_by_naming(self):
+        assert PartitionPlan.auto(small_cube(), 2).sizes() == [12, 12]
+        assert PartitionPlan.auto(fat_tree(4), 2).num_partitions == 2
+        assert PartitionPlan.auto(line(6), 2).num_partitions == 2
+
+    def test_rooted_at_moves_partition_to_zero(self):
+        topo = small_cube()
+        plan = PartitionPlan.grid(topo, 2)
+        victim = next(sw for sw, pid in plan.assignment.items() if pid == 1)
+        rooted = plan.rooted_at(victim)
+        assert rooted.pid_of(victim) == 0
+        assert sorted(rooted.sizes()) == sorted(plan.sizes())
+        # Already-rooted plans come back unchanged.
+        assert plan.rooted_at(next(
+            sw for sw, pid in plan.assignment.items() if pid == 0
+        )) is plan
+
+    def test_bad_assignments_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionPlan({"s1": 5}, 2)
+        with pytest.raises(SimulationError):
+            PartitionPlan.grid(line(4), 2)  # not cube-named
+        with pytest.raises(SimulationError):
+            PartitionPlan.balanced(line(3), 7)  # more parts than switches
+
+
+class TestGoldenSerialEquivalence:
+    """partitions=1 must be byte-identical to the serial loop.
+
+    Constants pinned in test_fabric_and_misc.TestGoldenTrace: any drift
+    there is a netsim regression; any drift *here only* means the
+    partition plumbing perturbed the serial path.
+    """
+
+    GOLDEN_DIGEST = (
+        "02c68774122d27d6ea9d068bd7a4456af68f8999b860831a9c201a6c70facbd0"
+    )
+    GOLDEN_EVENTS_RUN = 171663
+    GOLDEN_FINAL_CLOCK = 0.14248748159999963
+
+    def test_partitions_1_matches_pinned_serial_digest(self):
+        fabric = DumbNetFabric.from_topology(
+            paper_testbed(), controller_host="h0_0", seed=1, partitions=1
+        )
+        assert trace_digest(fabric) == self.GOLDEN_DIGEST
+        assert fabric.loop.events_run == self.GOLDEN_EVENTS_RUN
+        assert fabric.now == self.GOLDEN_FINAL_CLOCK
+
+    def test_single_partition_plan_object_matches_too(self):
+        # Even an explicit 1-partition *plan* (sim object built, window
+        # code reachable) must leave the trace untouched.
+        topo = paper_testbed()
+        plan = PartitionPlan({sw: 0 for sw in topo.switches}, 1)
+        fabric = DumbNetFabric.from_topology(
+            topo, controller_host="h0_0", seed=1, partition_plan=plan
+        )
+        assert fabric.network.sim is not None
+        assert trace_digest(fabric) == self.GOLDEN_DIGEST
+        assert fabric.loop.events_run == self.GOLDEN_EVENTS_RUN
+
+
+class TestInlinePartitioned:
+    def test_discovery_equivalent_to_serial(self):
+        serial = DumbNetFabric.from_topology(small_cube(), seed=1)
+        part = DumbNetFabric.from_topology(small_cube(), seed=1, partitions=2)
+        assert part.controller.view.same_wiring(serial.controller.view)
+        assert len(part.agents) == len(serial.agents)
+        report = part.partition_report()
+        assert report["partitions"] == 2
+        assert report["boundary_links"] > 0
+        assert report["messages"] > 0  # probes really crossed the cut
+
+    def test_run_to_run_determinism(self):
+        def build():
+            fabric = DumbNetFabric.from_topology(
+                small_cube(), seed=1, partitions=2
+            )
+            return trace_digest(fabric), fabric.partition_report()
+
+        d1, r1 = build()
+        d2, r2 = build()
+        assert d1 == d2
+        assert r1 == r2
+
+    def test_cross_partition_traffic_delivered(self):
+        part = DumbNetFabric.from_topology(small_cube(), seed=1, partitions=2)
+        src = part.controller_host
+        dst = next(
+            h for h in part.topology.hosts
+            if part.network._pid_of_host(h) != part.network._pid_of_host(src)
+        )
+        part.agents[src].send_app(dst, ("ping", 1), payload_bytes=100)
+        part.run_until_idle()
+        assert part.agents[dst].delivered
+        time, sender, payload = part.agents[dst].delivered[-1]
+        assert sender == src
+        assert payload == ("ping", 1)
+
+    def test_three_and_four_partitions_still_discover(self):
+        for n in (3, 4):
+            part = DumbNetFabric.from_topology(small_cube(), seed=1, partitions=n)
+            serial_view = DumbNetFabric.from_topology(
+                small_cube(), seed=1
+            ).controller.view
+            assert part.controller.view.same_wiring(serial_view)
+
+    def test_fault_lands_in_owning_partition_loop(self):
+        """A fault fired from partition 0's loop against a link wholly
+        inside another partition must execute in the *owner's* loop at
+        the initiator's timestamp -- both endpoint devices see the
+        port-down after exactly the detection delay."""
+        part = DumbNetFabric.from_topology(small_cube(), seed=1, partitions=2)
+        plan = part.network.plan
+        link = next(
+            lk for lk in part.topology.links
+            if plan.pid_of(lk.a.switch) == plan.pid_of(lk.b.switch) == 1
+        )
+        channel = part.network.link_channel(
+            link.a.switch, link.a.port, link.b.switch, link.b.port
+        )
+        t0 = part.now
+        cut_at = t0 + 0.001
+        # Chaos-style: the op fires inside partition 0's loop mid-run.
+        part.loop.schedule_at(
+            cut_at,
+            part.network.fail_link,
+            link.a.switch, link.a.port, link.b.switch, link.b.port,
+        )
+        part.run_until_idle()
+        assert not channel.up
+        owner_loop = part.network.loops[1]
+        assert channel.loop is owner_loop  # intra-partition channel
+        sw_a = part.network.switches[link.a.switch]
+        sw_b = part.network.switches[link.b.switch]
+        assert not sw_a.port_is_up(link.a.port)
+        assert not sw_b.port_is_up(link.b.port)
+
+    def test_boundary_cut_notifies_both_sides(self):
+        part = DumbNetFabric.from_topology(small_cube(), seed=1, partitions=2)
+        plan = part.network.plan
+        link = next(
+            lk for lk in part.topology.links
+            if plan.pid_of(lk.a.switch) != plan.pid_of(lk.b.switch)
+        )
+        part.fail_link(link.a.switch, link.a.port, link.b.switch, link.b.port)
+        part.run_until_idle()
+        channel = part.network.link_channel(
+            link.a.switch, link.a.port, link.b.switch, link.b.port
+        )
+        assert channel._side_up == [False, False]
+        part.restore_link(link.a.switch, link.a.port, link.b.switch, link.b.port)
+        part.run_until_idle()
+        assert channel._side_up == [True, True]
+
+    def test_boundary_channel_rejects_fault_knobs(self):
+        part = DumbNetFabric.from_topology(small_cube(), seed=1, partitions=2)
+        plan = part.network.plan
+        link = next(
+            lk for lk in part.topology.links
+            if plan.pid_of(lk.a.switch) != plan.pid_of(lk.b.switch)
+        )
+        channel = part.network.link_channel(
+            link.a.switch, link.a.port, link.b.switch, link.b.port
+        )
+        with pytest.raises(SimulationError):
+            channel.loss_rate = 0.1
+        with pytest.raises(SimulationError):
+            channel.extra_latency_s = 1e-3
+        channel.loss_rate = 0.0  # zero is always fine
+
+    def test_hotplug_switch_rejected_when_partitioned(self):
+        part = DumbNetFabric.from_topology(small_cube(), seed=1, partitions=2)
+        with pytest.raises(SimulationError):
+            part.hotplug_switch("c9_9_9", 16, [(1, "c0_0_0", 15)])
+
+
+class TestForkPartitioned:
+    def test_fork_matches_inline_schedule_and_result(self):
+        serial_view = DumbNetFabric.from_topology(
+            small_cube(), seed=1
+        ).controller.view
+        inline = DumbNetFabric.from_topology(small_cube(), seed=1, partitions=2)
+        fork = DumbNetFabric.from_topology(
+            small_cube(), seed=1, partitions=2, partition_mode="fork"
+        )
+        try:
+            assert fork.controller.view.same_wiring(serial_view)
+            ri, rf = inline.partition_report(), fork.partition_report()
+            # The window protocol is deterministic: both coordinators
+            # must produce the identical round/message schedule.
+            assert rf["rounds"] == ri["rounds"]
+            assert rf["messages"] == ri["messages"]
+        finally:
+            fork.shutdown()
+
+    def test_fork_cross_partition_traffic(self):
+        fork = DumbNetFabric.from_topology(
+            small_cube(), seed=1, partitions=2, partition_mode="fork"
+        )
+        try:
+            src = fork.controller_host
+            assert fork.network._pid_of_host(src) == 0  # plan rooted here
+            dst = next(
+                h for h in fork.topology.hosts
+                if fork.network._pid_of_host(h) != 0
+            )
+            fork.agents[src].send_app(dst, ("over", "the", "cut"), payload_bytes=64)
+            fork.run_until_idle()
+        finally:
+            fork.shutdown()
+
+    def test_fork_rejects_mutation_after_start(self):
+        fork = DumbNetFabric.from_topology(
+            small_cube(), seed=1, partitions=2, partition_mode="fork"
+        )
+        try:
+            link = fork.topology.links[0]
+            with pytest.raises(SimulationError):
+                fork.fail_link(
+                    link.a.switch, link.a.port, link.b.switch, link.b.port
+                )
+        finally:
+            fork.shutdown()
+
+    def test_shutdown_is_idempotent(self):
+        fork = DumbNetFabric.from_topology(
+            small_cube(), seed=1, partitions=2, partition_mode="fork"
+        )
+        fork.shutdown()
+        fork.shutdown()
+
+
+class TestBoundarySpec:
+    def test_boundary_link_spec_sets_lookahead(self):
+        part = DumbNetFabric.from_topology(
+            small_cube(),
+            seed=1,
+            partitions=2,
+            boundary_link_spec=LinkSpec(latency_s=50e-6),
+        )
+        report = part.partition_report()
+        assert report["lookahead_s"] == pytest.approx(50e-6)
+        # Bigger lookahead, fewer coordination rounds than the 1 us
+        # default -- that is the whole point of the knob.
+        tight = DumbNetFabric.from_topology(small_cube(), seed=1, partitions=2)
+        assert report["rounds"] < tight.partition_report()["rounds"]

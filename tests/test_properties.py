@@ -172,6 +172,45 @@ class TestMaxMinProperties:
                         saturated_fairly = True
             assert saturated_fairly, f"{flow} has slack everywhere"
 
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_capacity_respected_with_duplicate_links(self, data):
+        """Allocations never exceed any link capacity even when routes
+        cross the same link more than once (each crossing consumes the
+        flow's rate again).  Regression: the pre-multiplicity code
+        divided fair shares by distinct-flow count but subtracted per
+        occurrence, overcommitting duplicated links."""
+        num_links = data.draw(st.integers(min_value=1, max_value=5))
+        links = [f"L{i}" for i in range(num_links)]
+        caps = {
+            link: data.draw(
+                st.floats(min_value=0.5, max_value=100.0), label=f"cap-{link}"
+            )
+            for link in links
+        }
+        num_flows = data.draw(st.integers(min_value=1, max_value=8))
+        routes = {}
+        demands = {}
+        for i in range(num_flows):
+            # unique=False: duplicated links are the point.
+            routes[f"f{i}"] = data.draw(
+                st.lists(st.sampled_from(links), min_size=1, max_size=6),
+                label=f"route-{i}",
+            )
+            if data.draw(st.booleans(), label=f"capped-{i}"):
+                demands[f"f{i}"] = data.draw(
+                    st.floats(min_value=0.0, max_value=50.0), label=f"demand-{i}"
+                )
+        rates = max_min_rates(routes, caps, demands)
+        eps = 1e-6
+        for link, cap in caps.items():
+            used = sum(rates[f] * r.count(link) for f, r in routes.items())
+            assert used <= cap + eps, f"{link} overcommitted: {used} > {cap}"
+        for flow, rate in rates.items():
+            assert rate >= 0.0
+            if flow in demands:
+                assert rate <= demands[flow] + eps
+
     @settings(max_examples=30, deadline=None)
     @given(st.integers(min_value=1, max_value=10), st.floats(min_value=1.0, max_value=50.0))
     def test_single_link_equal_split(self, n, cap):
