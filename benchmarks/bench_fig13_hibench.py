@@ -13,16 +13,23 @@ policies over the fluid simulator -- flowlet-style rebalancing
 and a single fixed shortest path (DumbNet without TE).
 """
 
+import os
+import sys
+
+if __name__ == "__main__":  # standalone CLI: repo src + sibling _util
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+    sys.path.insert(0, os.path.dirname(__file__))
+
 import pytest
 
 from repro.analysis import render_table
 from repro.flowsim import (
     FlowNet,
-    FluidSimulator,
     HashedKPathPolicy,
     RebalancingKPathPolicy,
     SingleShortestPolicy,
 )
+from repro.hybrid import build_engine
 from repro.topology import paper_testbed
 from repro.workloads import HIBENCH_TASKS, hibench_task, run_task
 
@@ -41,21 +48,28 @@ POLICIES = {
 }
 
 
-def run_matrix():
+def run_matrix(engine="fluid", roi=None, tasks=None, scale=TASK_SCALE):
+    """Task-duration matrix across the three path policies.
+
+    ``engine``/``roi`` select the dataplane fidelity per
+    :func:`repro.hybrid.build_engine` (the default is the plain fluid
+    simulator, unchanged).
+    """
     topo = paper_testbed()
     durations = {}
     for policy_name, policy_factory in POLICIES.items():
-        for task_name in HIBENCH_TASKS:
+        for task_name in tasks or HIBENCH_TASKS:
             net = FlowNet(
                 topo,
                 link_bps=10e9,
                 host_bps=10e9,
                 switch_overrides={"spine0": SPINE_PORT_BPS, "spine1": SPINE_PORT_BPS},
             )
-            sim = FluidSimulator(
-                net, policy_factory(), rebalance_interval_s=0.05
+            sim = build_engine(
+                topo, engine, roi=roi, policy=policy_factory(), net=net,
+                rebalance_interval_s=0.05,
             )
-            task = hibench_task(task_name, topo.hosts, seed=11, scale=TASK_SCALE)
+            task = hibench_task(task_name, topo.hosts, seed=11, scale=scale)
             durations[(policy_name, task_name)] = run_task(sim, task)
     return durations
 
@@ -90,3 +104,47 @@ def test_fig13_hibench(benchmark):
         assert dumbnet < single, f"{task}: TE slower than single path"
         # Single path is the worst configuration.
         assert single >= ecmp * 0.98, f"{task}: single path beat ECMP"
+
+
+def main(argv=None) -> int:
+    import argparse
+    import time
+
+    from repro.hybrid import RegionOfInterest
+
+    parser = argparse.ArgumentParser(
+        description="Figure 13 HiBench-analogue task durations"
+    )
+    parser.add_argument(
+        "--engine", choices=("packet", "fluid", "hybrid"), default="fluid",
+        help="dataplane fidelity (packet = everything promoted)",
+    )
+    parser.add_argument(
+        "--roi-host", action="append", default=None, metavar="HOST",
+        help="hybrid: promote flows touching HOST (repeatable; "
+        "default: first testbed host)",
+    )
+    parser.add_argument(
+        "--task", action="append", default=None, choices=list(HIBENCH_TASKS),
+        help="run only these tasks (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=TASK_SCALE,
+        help="shuffle volume multiplier (default %(default)s)",
+    )
+    opts = parser.parse_args(argv)
+    roi = None
+    if opts.engine == "hybrid":
+        hosts = opts.roi_host or [paper_testbed().hosts[0]]
+        roi = RegionOfInterest.of_hosts(*hosts)
+    t0 = time.perf_counter()
+    durations = run_matrix(opts.engine, roi, tasks=opts.task, scale=opts.scale)
+    wall = time.perf_counter() - t0
+    for (policy, task), duration in sorted(durations.items()):
+        print(f"[{opts.engine}] {policy:20s} {task:12s} {duration:8.2f}s")
+    print(f"wall {wall:.2f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

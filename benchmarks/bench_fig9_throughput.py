@@ -14,11 +14,19 @@ meaningfully); the aggregate number runs the fluid simulator over the
 testbed topology with DumbNet's k-path load balancing.
 """
 
+import os
+import sys
+
+if __name__ == "__main__":  # standalone CLI: repo src + sibling _util
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+    sys.path.insert(0, os.path.dirname(__file__))
+
 import pytest
 
 from repro.analysis import render_table
-from repro.flowsim import FlowNet, FluidSimulator, RebalancingKPathPolicy
+from repro.flowsim import FlowNet, RebalancingKPathPolicy
 from repro.hardware import DUMBNET, MPLS_ONLY, NOOP_DPDK
+from repro.hybrid import build_engine
 from repro.topology import leaf_spine
 
 from _util import publish
@@ -32,13 +40,20 @@ def single_host_rows():
     ]
 
 
-def aggregate_leaf_throughput():
+def aggregate_leaf_throughput(engine="fluid", roi=None):
     """14 hosts per leaf, 2 spines, 10 GE everywhere; all hosts on
     leaf0 blast a peer on leaf1.  Uplink capacity caps the total at
-    20 Gbps; per-host stacks cap each sender at the DumbNet rate."""
+    20 Gbps; per-host stacks cap each sender at the DumbNet rate.
+
+    ``engine`` selects the dataplane fidelity (fluid/hybrid/packet,
+    see :func:`repro.hybrid.build_engine`); ``roi`` is the promoted
+    region for ``engine="hybrid"``.
+    """
     topo = leaf_spine(spines=2, leaves=2, hosts_per_leaf=14, num_ports=64)
     net = FlowNet(topo, link_bps=10e9, host_bps=DUMBNET.throughput_bps())
-    sim = FluidSimulator(net, RebalancingKPathPolicy(k=2))
+    sim = build_engine(
+        topo, engine, roi=roi, policy=RebalancingKPathPolicy(k=2), net=net
+    )
     total_bits = 0.0
     for i in range(14):
         sim.add_flow(f"h0_{i}", f"h1_{i}", 1e9, tag="agg")
@@ -75,3 +90,39 @@ def test_fig9_throughput(benchmark):
     # Aggregate: both uplinks utilized -> well above one uplink's 10G,
     # close to the 20G ceiling (paper: 18.5).
     assert 16e9 < aggregate_bps <= 20e9
+
+
+def main(argv=None) -> int:
+    import argparse
+    import time
+
+    from repro.hybrid import RegionOfInterest
+
+    parser = argparse.ArgumentParser(
+        description="Figure 9 aggregate leaf-to-leaf throughput"
+    )
+    parser.add_argument(
+        "--engine", choices=("packet", "fluid", "hybrid"), default="fluid",
+        help="dataplane fidelity (packet = everything promoted)",
+    )
+    parser.add_argument(
+        "--roi-host", action="append", default=None, metavar="HOST",
+        help="hybrid: promote flows touching HOST (repeatable; "
+        "default h1_0)",
+    )
+    opts = parser.parse_args(argv)
+    roi = None
+    if opts.engine == "hybrid":
+        roi = RegionOfInterest.of_hosts(*(opts.roi_host or ["h1_0"]))
+    t0 = time.perf_counter()
+    aggregate_bps = aggregate_leaf_throughput(opts.engine, roi)
+    wall = time.perf_counter() - t0
+    print(
+        f"[{opts.engine}] aggregate {aggregate_bps / 1e9:.2f} Gbps "
+        f"(paper 18.5 / 20), wall {wall:.2f}s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,290 @@
+"""Hybrid-fidelity dataplane benchmark: equal headline numbers, a
+fraction of the wall time.
+
+Standalone (not a pytest bench -- CI runs it directly):
+
+    PYTHONPATH=src python benchmarks/bench_hybrid.py [--smoke]
+
+Two paper-class experiments run on three engines built from the same
+machinery (``repro.hybrid.build_engine``):
+
+* **fluid**  -- pure max-min flow simulation,
+* **hybrid** -- fluid bulk + a packet-level region of interest,
+* **packet** -- the pure packet-fidelity baseline: the *same*
+  netsim-channel frame pipeline the hybrid zoom uses, with every flow
+  promoted.  Measuring the speedup against the same frame machinery
+  keeps the comparison honest -- the hybrid gain is exactly "how much
+  traffic stayed fluid", not an artifact of two unrelated simulators.
+
+Experiments:
+
+* **fig9-class** -- 28 hosts per leaf blast a peer across 2x10GE
+  uplinks; headline = aggregate throughput; ROI = the flow into host
+  h1_0 (1 of 28 promoted).  The >=20x wall-time floor applies here and
+  is enforced in full mode.
+* **fig13-class** -- HiBench Terasort shuffle on the paper testbed
+  (spine ports 500 Mbps); headline = task duration; ROI = flows
+  touching the first server.  Promoted volume is a larger fraction and
+  the fluid epochs dominate both sides, so the enforced floor is the
+  smaller FIG13_REQUIRED_SPEEDUP (the 20x criterion is the fig9-class
+  run).
+
+Correctness gates run in every mode:
+
+* headline numbers equal across engines within pinned tolerances,
+* fluid engine == hybrid engine with an **empty** ROI, exactly
+  (per-flow finish times compared bit-for-bit).
+
+Results land in ``BENCH_hybrid.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.flowsim import FlowNet, RebalancingKPathPolicy
+from repro.hardware import DUMBNET
+from repro.hybrid import RegionOfInterest, build_engine
+from repro.topology import leaf_spine, paper_testbed
+from repro.workloads import hibench_task, run_task
+
+from _util import REPO_ROOT, publish_json
+
+#: fig9-class wall-time floor (full mode): hybrid must beat the pure
+#: packet baseline by this factor at equal headline numbers.
+FIG9_REQUIRED_SPEEDUP = 20.0
+#: fig9-class headline tolerance (relative): aggregate Gbps across
+#: engines.
+FIG9_TOLERANCE = 0.05
+
+#: fig13-class floor: promoted volume is ~1/14 of the shuffle and the
+#: max-min epochs dominate both sides, so parity of headline numbers is
+#: the point and the wall floor is modest (measured ~3.3x).
+FIG13_REQUIRED_SPEEDUP = 2.5
+FIG13_TOLERANCE = 0.06
+
+FIG9_FULL = {"hosts_per_leaf": 28, "flow_bits": 1e9}
+FIG9_SMOKE = {"hosts_per_leaf": 6, "flow_bits": 5e7}
+
+FIG13_FULL = {"task": "Terasort", "scale": 0.5, "epoch_s": 5e-3}
+FIG13_SMOKE = {"task": "Terasort", "scale": 0.05, "epoch_s": 5e-3}
+
+SPINE_PORT_BPS = 500e6
+
+
+# ----------------------------------------------------------------------
+# fig9-class: aggregate leaf-to-leaf throughput
+
+
+def fig9_run(scenario: dict, engine: str, roi=None) -> dict:
+    n = scenario["hosts_per_leaf"]
+    topo = leaf_spine(spines=2, leaves=2, hosts_per_leaf=n, num_ports=64)
+    net = FlowNet(topo, link_bps=10e9, host_bps=DUMBNET.throughput_bps())
+    sim = build_engine(
+        topo, engine, roi=roi, policy=RebalancingKPathPolicy(k=2), net=net
+    )
+    total_bits = 0.0
+    for i in range(n):
+        sim.add_flow(f"h0_{i}", f"h1_{i}", scenario["flow_bits"], tag="agg")
+        total_bits += scenario["flow_bits"]
+    t0 = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - t0
+    row = {
+        "engine": engine,
+        "aggregate_gbps": round(total_bits / sim.completion_time("agg") / 1e9, 4),
+        "wall_s": round(wall, 3),
+        "finish_times": [f.finished_at for f in sim.flows],
+        "report": sim.report().as_dict(),
+    }
+    return row
+
+
+# ----------------------------------------------------------------------
+# fig13-class: HiBench Terasort shuffle duration
+
+
+def fig13_run(scenario: dict, engine: str, roi=None) -> dict:
+    topo = paper_testbed()
+    net = FlowNet(
+        topo,
+        link_bps=10e9,
+        host_bps=10e9,
+        switch_overrides={"spine0": SPINE_PORT_BPS, "spine1": SPINE_PORT_BPS},
+    )
+    kwargs = {}
+    if engine != "fluid":
+        kwargs["epoch_s"] = scenario["epoch_s"]
+    sim = build_engine(
+        topo, engine, roi=roi, policy=RebalancingKPathPolicy(k=4), net=net,
+        rebalance_interval_s=0.05, **kwargs,
+    )
+    task = hibench_task(
+        scenario["task"], topo.hosts, seed=11, scale=scenario["scale"]
+    )
+    t0 = time.perf_counter()
+    duration = run_task(sim, task)
+    wall = time.perf_counter() - t0
+    return {
+        "engine": engine,
+        "duration_s": round(duration, 6),
+        "wall_s": round(wall, 3),
+        "report": sim.report().as_dict(),
+    }
+
+
+# ----------------------------------------------------------------------
+
+
+def rel_diff(a: float, b: float) -> float:
+    return abs(a - b) / b if b else 0.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI mode: tiny scenarios, correctness gates only",
+    )
+    opts = parser.parse_args(argv)
+
+    fig9 = FIG9_SMOKE if opts.smoke else FIG9_FULL
+    fig13 = FIG13_SMOKE if opts.smoke else FIG13_FULL
+    failures = []
+
+    # fig9-class: fluid / hybrid(1 of N promoted) / packet(all promoted)
+    fig9_fluid = fig9_run(fig9, "fluid")
+    print(f"[fig9 fluid]   {fig9_fluid['aggregate_gbps']} Gbps "
+          f"wall {fig9_fluid['wall_s']}s")
+    fig9_hybrid = fig9_run(fig9, "hybrid", RegionOfInterest.of_hosts("h1_0"))
+    print(f"[fig9 hybrid]  {fig9_hybrid['aggregate_gbps']} Gbps "
+          f"wall {fig9_hybrid['wall_s']}s")
+    fig9_packet = fig9_run(fig9, "packet")
+    print(f"[fig9 packet]  {fig9_packet['aggregate_gbps']} Gbps "
+          f"wall {fig9_packet['wall_s']}s")
+    fig9_speedup = (
+        fig9_packet["wall_s"] / fig9_hybrid["wall_s"]
+        if fig9_hybrid["wall_s"] else float("inf")
+    )
+    print(f"[fig9] speedup {fig9_speedup:.1f}x "
+          f"(floor {FIG9_REQUIRED_SPEEDUP}x, "
+          f"{'enforced' if not opts.smoke else 'smoke: recorded only'})")
+
+    for name, row in (("hybrid", fig9_hybrid), ("packet", fig9_packet)):
+        diff = rel_diff(row["aggregate_gbps"], fig9_fluid["aggregate_gbps"])
+        if diff > FIG9_TOLERANCE:
+            failures.append(
+                f"fig9 {name} headline {row['aggregate_gbps']} Gbps is "
+                f"{diff:.3f} rel from fluid (tolerance {FIG9_TOLERANCE})"
+            )
+    if not opts.smoke and fig9_speedup < FIG9_REQUIRED_SPEEDUP:
+        failures.append(
+            f"fig9 hybrid speedup {fig9_speedup:.1f}x below the "
+            f"{FIG9_REQUIRED_SPEEDUP}x floor"
+        )
+
+    # Boundary-exactness gate: empty ROI must equal pure fluid, exactly.
+    empty_roi = fig9_run(fig9, "hybrid", RegionOfInterest.empty())
+    exact = empty_roi["finish_times"] == fig9_fluid["finish_times"]
+    print(f"[fig9] fluid == hybrid(empty ROI): {'exact' if exact else 'DIVERGED'}")
+    if not exact:
+        failures.append("hybrid with empty ROI diverged from the fluid engine")
+
+    # fig13-class: Terasort shuffle
+    fig13_fluid = fig13_run(fig13, "fluid")
+    print(f"[fig13 fluid]  {fig13_fluid['duration_s']}s "
+          f"wall {fig13_fluid['wall_s']}s")
+    roi13 = RegionOfInterest.of_hosts(paper_testbed().hosts[0])
+    fig13_hybrid = fig13_run(fig13, "hybrid", roi13)
+    print(f"[fig13 hybrid] {fig13_hybrid['duration_s']}s "
+          f"wall {fig13_hybrid['wall_s']}s")
+    fig13_packet = fig13_run(fig13, "packet")
+    print(f"[fig13 packet] {fig13_packet['duration_s']}s "
+          f"wall {fig13_packet['wall_s']}s")
+    fig13_speedup = (
+        fig13_packet["wall_s"] / fig13_hybrid["wall_s"]
+        if fig13_hybrid["wall_s"] else float("inf")
+    )
+    print(f"[fig13] speedup {fig13_speedup:.1f}x "
+          f"(floor {FIG13_REQUIRED_SPEEDUP}x, "
+          f"{'enforced' if not opts.smoke else 'smoke: recorded only'})")
+
+    for name, row in (("hybrid", fig13_hybrid), ("packet", fig13_packet)):
+        diff = rel_diff(row["duration_s"], fig13_fluid["duration_s"])
+        if diff > FIG13_TOLERANCE:
+            failures.append(
+                f"fig13 {name} duration {row['duration_s']}s is "
+                f"{diff:.3f} rel from fluid (tolerance {FIG13_TOLERANCE})"
+            )
+    if not opts.smoke and fig13_speedup < FIG13_REQUIRED_SPEEDUP:
+        failures.append(
+            f"fig13 hybrid speedup {fig13_speedup:.1f}x below the "
+            f"{FIG13_REQUIRED_SPEEDUP}x floor"
+        )
+
+    def strip(row):
+        out = dict(row)
+        out.pop("finish_times", None)
+        return out
+
+    payload = {
+        "schema": "bench-hybrid/1",
+        "mode": "smoke" if opts.smoke else "full",
+        "fig9": {
+            "scenario": fig9,
+            "roi": "of_hosts(h1_0)",
+            "fluid": strip(fig9_fluid),
+            "hybrid": strip(fig9_hybrid),
+            "packet": strip(fig9_packet),
+            "speedup": round(fig9_speedup, 2),
+            "headline_tolerance": FIG9_TOLERANCE,
+            "empty_roi_exact": exact,
+            "floor": {
+                "required_speedup": FIG9_REQUIRED_SPEEDUP,
+                "enforced": not opts.smoke,
+                "reason": (
+                    "enforced: full-size scenario"
+                    if not opts.smoke else
+                    "not enforced: smoke mode checks correctness only"
+                ),
+            },
+        },
+        "fig13": {
+            "scenario": fig13,
+            "roi": f"of_hosts({paper_testbed().hosts[0]})",
+            "fluid": strip(fig13_fluid),
+            "hybrid": strip(fig13_hybrid),
+            "packet": strip(fig13_packet),
+            "speedup": round(fig13_speedup, 2),
+            "headline_tolerance": FIG13_TOLERANCE,
+            "floor": {
+                "required_speedup": FIG13_REQUIRED_SPEEDUP,
+                "enforced": not opts.smoke,
+                "reason": (
+                    "enforced: full-size scenario; the 20x criterion is "
+                    "the fig9-class run (promoted fraction is larger "
+                    "here and max-min epochs dominate both sides)"
+                    if not opts.smoke else
+                    "not enforced: smoke mode checks correctness only"
+                ),
+            },
+        },
+    }
+    publish_json(
+        "bench_hybrid", payload,
+        path=os.path.join(REPO_ROOT, "BENCH_hybrid.json"),
+    )
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

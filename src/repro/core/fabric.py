@@ -177,6 +177,12 @@ class DumbNetFabric:
             self.obs = obs if isinstance(obs, FabricObs) else FabricObs()
             self.obs.attach(self)
 
+        #: Flow-level dataplane (``from_topology(engine="fluid"|"hybrid")``):
+        #: a FluidSimulator/HybridEngine over this topology, or None for
+        #: the native packet-level emulation.
+        self.engine = "packet"
+        self.dataplane = None
+
     # ------------------------------------------------------------------
     # construction conveniences
 
@@ -187,6 +193,10 @@ class DumbNetFabric:
         *,
         bootstrap: Optional[str] = "discover",
         warm: bool = False,
+        engine: str = "packet",
+        roi=None,
+        flow_policy=None,
+        flow_net=None,
         **kwargs,
     ) -> "DumbNetFabric":
         """Build a fabric and bring it live in one call.
@@ -196,9 +206,37 @@ class DumbNetFabric:
         ``"blueprint"`` adopts the ground-truth topology
         (:meth:`adopt_blueprint`), ``None`` leaves the fabric cold.
         ``warm`` additionally pre-populates every pair's path cache.
-        Remaining keyword arguments go to the constructor.
+
+        ``engine`` selects the dataplane for traffic experiments:
+        ``"packet"`` (default) is the native per-frame emulation and
+        changes nothing; ``"fluid"`` and ``"hybrid"`` attach a
+        flow-level dataplane as ``fabric.dataplane`` (a
+        :class:`~repro.flowsim.FluidSimulator` or
+        :class:`~repro.hybrid.HybridEngine` over the same topology).
+        ``roi`` (a :class:`~repro.hybrid.RegionOfInterest`) names the
+        traffic a hybrid engine promotes to packet fidelity;
+        ``flow_policy``/``flow_net`` override the path policy and
+        capacity graph.  Remaining keyword arguments go to the
+        constructor.
         """
+        if engine not in ("packet", "fluid", "hybrid"):
+            raise ValueError(
+                f"engine must be 'packet', 'fluid', or 'hybrid'; got {engine!r}"
+            )
+        if engine == "packet" and (
+            roi is not None or flow_policy is not None or flow_net is not None
+        ):
+            raise ValueError(
+                "roi/flow_policy/flow_net only apply to engine='fluid'|'hybrid'"
+            )
         fabric = cls(topology, **kwargs)
+        if engine != "packet":
+            from ..hybrid.engine import build_engine
+
+            fabric.dataplane = build_engine(
+                topology, engine, roi=roi, policy=flow_policy, net=flow_net
+            )
+            fabric.engine = engine
         if bootstrap == "discover":
             fabric.bootstrap()
         elif bootstrap == "blueprint":

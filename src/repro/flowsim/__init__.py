@@ -4,6 +4,7 @@ from .maxmin import FairnessError, max_min_rates
 from .network import FlowNet
 from .simulator import (
     Flow,
+    FluidReport,
     FluidSimulator,
     HashedKPathPolicy,
     PathPolicy,
@@ -17,6 +18,7 @@ __all__ = [
     "FairnessError",
     "FlowNet",
     "Flow",
+    "FluidReport",
     "FluidSimulator",
     "PathPolicy",
     "SingleShortestPolicy",

@@ -12,6 +12,25 @@ Path selection is pluggable via :class:`PathPolicy`: the same simulator
 runs DumbNet with flowlet-style rebalancing, DumbNet pinned to a single
 path, and ECMP-like hashing, which is exactly the comparison Figure 13
 draws.
+
+Two engineering notes:
+
+* The simulator keeps an explicit *active set* -- completed flows drop
+  out of every per-event scan, so event cost is O(active), not O(total
+  flows ever injected).  ``self.flows`` still records every flow for
+  post-run analysis.
+* Rate recomputation is *dirty-flag gated*: an epoch that processed no
+  arrival, finish, or injected event (possible when a subclass bounds
+  epochs, see the hook points below) reuses the standing allocation
+  instead of re-running the policy and the max-min fill.
+
+Subclass hook points (all prefixed ``_``, all no-ops or identity here)
+let :class:`~repro.hybrid.engine.HybridEngine` couple a packet-level
+region to the fluid clock without forking this loop: ``_admit``,
+``_external_demands``, ``_post_recompute``, ``_revalidate_external``,
+``_rebalance_population``, ``_coupling_bound``, ``_couple_to``,
+``_recordable_flows``.  With no subclass the loop's behaviour is
+byte-identical to the plain fluid simulator.
 """
 
 from __future__ import annotations
@@ -19,10 +38,21 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
+from ..obs.report import ReportBase
 from .maxmin import max_min_rates
 from .network import FlowNet
 
@@ -33,8 +63,21 @@ __all__ = [
     "HashedKPathPolicy",
     "RebalancingKPathPolicy",
     "FluidSimulator",
+    "FluidReport",
     "ThroughputSeries",
 ]
+
+#: A flow is finished once its residue is below this fraction of its
+#: size.  Relative, not absolute: the old absolute ``1e-6``-bit cutoff
+#: finished a sub-microbit flow "early" at a coincident event while it
+#: still had half its bits to move.  1e-12 matches double precision --
+#: residue below size * 1e-12 is below the resolution of the running
+#: ``remaining -= rate * dt`` subtraction anyway.
+FINISH_EPS_REL = 1e-12
+
+#: Events within this window of the current instant are coalesced into
+#: one epoch (float-dust separation is not a real ordering).
+TIME_EPS = 1e-12
 
 
 @dataclass
@@ -53,6 +96,11 @@ class Flow:
     rate_bps: float = 0.0
     finished_at: Optional[float] = None
     stalled: bool = False
+    #: Pinned flows keep their path: the load-balancing policy counts
+    #: them but never migrates them.  The hybrid engine pins flows it
+    #: has promoted to the packet region (their path is baked into a
+    #: live packet pipeline).
+    pinned: bool = False
 
     @property
     def done(self) -> bool:
@@ -144,7 +192,7 @@ class RebalancingKPathPolicy(PathPolicy):
         self._recount(net, flows)
         changed = False
         for flow in flows:
-            if flow.done or flow.switch_path is None:
+            if flow.done or flow.pinned or flow.switch_path is None:
                 continue
             current_load = self._path_load(net, flow.src, flow.switch_path, flow.dst)
             paths = net.k_paths(flow.src, flow.dst, self.k)
@@ -185,6 +233,10 @@ class ThroughputSeries:
                 return bps
         return 0.0
 
+    def delivered_bits(self) -> float:
+        """Integral of the series: total bits moved."""
+        return sum((t1 - t0) * bps for t0, t1, bps in self.segments)
+
     def binned(self, bin_s: float, until: Optional[float] = None) -> List[Tuple[float, float]]:
         """(bin start, mean bps) rows -- the Figure 11(b) time series."""
         if not self.segments:
@@ -204,6 +256,41 @@ class ThroughputSeries:
         return bins
 
 
+class FluidReport(ReportBase):
+    """Fluid-engine counters behind the one report protocol."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: Dict[str, Any]) -> None:
+        self.data = data
+
+    def as_dict(self) -> Dict[str, Any]:
+        return self.data
+
+    def summary(self) -> str:
+        flows = self.data["flows"]
+        label = "hybrid" if self.data["kind"] == "hybrid-report" else "fluid"
+        text = (
+            f"{label} @ {self.data['now']:.6f}s: "
+            f"{flows['active']} active / {flows['completed']} done "
+            f"of {flows['total']} flows, "
+            f"{self.data['recomputes']} recomputes "
+            f"({self.data['recompute_skips']} skipped), "
+            f"{self.data['epochs']} epochs"
+        )
+        promoted = self.data.get("promoted")
+        if promoted is not None:
+            boundary = self.data["boundary"]
+            text += (
+                f"; promoted {promoted['finished']} done "
+                f"of {promoted['total']} "
+                f"({promoted['stalled']} stalled), "
+                f"{boundary['couplings']} couplings, "
+                f"max rel err {boundary['consistency_max_rel_err']:.3g}"
+            )
+        return text
+
+
 class FluidSimulator:
     """Event-driven fluid simulation over a :class:`FlowNet`."""
 
@@ -218,12 +305,25 @@ class FluidSimulator:
         self.rebalance_interval_s = rebalance_interval_s
         self._last_rebalance = -math.inf
         self.now = 0.0
+        #: Every flow ever admitted (for post-run analysis).
         self.flows: List[Flow] = []
+        #: Flows still moving bits (or stalled awaiting a route); the
+        #: per-event scans run over this, never over ``self.flows``.
+        self._active: List[Flow] = []
         self._fids = itertools.count(1)
         self._arrivals: List[Tuple[float, int, Flow]] = []
         self._injected: List[Tuple[float, int, Callable[[], None]]] = []
         self._seq = itertools.count()
         self.completed: List[Flow] = []
+        #: Route/demand set changed since the standing allocation was
+        #: computed; cleared by ``_recompute``.
+        self._dirty = True
+        # Telemetry (surfaced via report() and the obs layer).
+        self.recomputes = 0
+        self.recompute_skips = 0
+        self.epochs = 0
+        self.arrivals_processed = 0
+        self.injections_processed = 0
 
     # ------------------------------------------------------------------
 
@@ -254,12 +354,47 @@ class FluidSimulator:
         heapq.heappush(self._injected, (time_s, next(self._seq), callback))
 
     # ------------------------------------------------------------------
+    # subclass hook points (identity/no-op here)
 
-    def _active(self) -> List[Flow]:
-        return [f for f in self.flows if not f.done]
+    def _admit(self, flow: Flow) -> None:
+        """An arrival reached its start time: enter the active set."""
+        self.flows.append(flow)
+        self._active.append(flow)
+
+    def _external_demands(
+        self,
+    ) -> Optional[Tuple[Mapping[Hashable, Sequence], Mapping[Hashable, float]]]:
+        """Extra (routes, demands) folded into the max-min fill --
+        the hybrid engine's frozen packet-measured demands."""
+        return None
+
+    def _revalidate_external(self) -> None:
+        """Re-check externally simulated flows' routes after failures."""
+
+    def _rebalance_population(self) -> Sequence[Flow]:
+        """Flows the policy's load rebalancer sees."""
+        return self._active
+
+    def _post_recompute(
+        self, routes: Mapping[Hashable, Sequence], rates: Mapping[Hashable, float]
+    ) -> None:
+        """Called with the fresh allocation (fluid + external rows)."""
+
+    def _coupling_bound(self) -> Optional[float]:
+        """Upper bound on this epoch's end, or None for unbounded."""
+        return None
+
+    def _couple_to(self, t: float) -> None:
+        """Advance any coupled simulation exactly to time ``t``."""
+
+    def _recordable_flows(self) -> Iterable[Flow]:
+        """Flows whose rates the throughput recorder attributes."""
+        return self._active
+
+    # ------------------------------------------------------------------
 
     def _recompute(self) -> None:
-        active = self._active()
+        active = self._active
         # Revalidate routes (failures may have killed some) and give
         # routeless flows another chance.
         for flow in active:
@@ -270,6 +405,7 @@ class FluidSimulator:
             if flow.switch_path is None:
                 flow.switch_path = self.policy.choose(self.net, flow)
                 flow.stalled = flow.switch_path is None
+        self._revalidate_external()
         # Rebalancing can be throttled: with thousands of flows the
         # policy's load scan is the dominant cost, and flowlet-scale
         # re-selection does not need to run at every fluid event.
@@ -277,10 +413,10 @@ class FluidSimulator:
             self.rebalance_interval_s is None
             or self.now - self._last_rebalance >= self.rebalance_interval_s
         ):
-            self.policy.rebalance(self.net, active)
+            self.policy.rebalance(self.net, self._rebalance_population())
             self._last_rebalance = self.now
-        routes = {}
-        demands = {}
+        routes: Dict[Hashable, Sequence] = {}
+        demands: Dict[Hashable, float] = {}
         for flow in active:
             if flow.switch_path is None:
                 flow.rate_bps = 0.0
@@ -293,9 +429,23 @@ class FluidSimulator:
             routes[flow.fid] = links
             if math.isfinite(flow.demand_bps):
                 demands[flow.fid] = flow.demand_bps
+        extra = self._external_demands()
+        if extra is not None:
+            ext_routes, ext_demands = extra
+            routes.update(ext_routes)
+            demands.update(ext_demands)
         rates = max_min_rates(routes, self.net.capacities, demands)
         for flow in active:
             flow.rate_bps = rates.get(flow.fid, 0.0)
+        self.recomputes += 1
+        self._dirty = False
+        self._post_recompute(routes, rates)
+
+    def _rebalance_due(self) -> bool:
+        return (
+            self.rebalance_interval_s is not None
+            and self.now - self._last_rebalance >= self.rebalance_interval_s
+        )
 
     def run(
         self,
@@ -309,8 +459,16 @@ class FluidSimulator:
         each active flow's rate is attributed to ``record_key(flow)``.
         """
         horizon = until if until is not None else math.inf
+        # Entering run() always recomputes once: flows queued via
+        # add_flow since the last run, or net mutations made between
+        # runs, must be visible before the first advance.
+        self._dirty = True
         while True:
-            self._recompute()
+            self.epochs += 1
+            if self._dirty or self._rebalance_due():
+                self._recompute()
+            else:
+                self.recompute_skips += 1
             # Next event time.
             candidates: List[float] = []
             if self._arrivals:
@@ -318,7 +476,7 @@ class FluidSimulator:
             if self._injected:
                 candidates.append(self._injected[0][0])
             finish_candidates = []
-            for flow in self._active():
+            for flow in self._active:
                 if flow.rate_bps <= 0:
                     continue
                 finish_at = self.now + flow.remaining_bits / flow.rate_bps
@@ -331,27 +489,44 @@ class FluidSimulator:
                 finish_candidates.append(finish_at)
             if finish_candidates:
                 candidates.append(min(finish_candidates))
+            bound = self._coupling_bound()
+            if bound is not None:
+                candidates.append(bound)
             if not candidates:
                 break
             t_next = min(candidates)
             if t_next > horizon:
                 self._advance(horizon, record, record_key)
+                self._couple_to(horizon)
                 self.now = horizon
                 break
             self._advance(t_next, record, record_key)
+            self._couple_to(t_next)
             self.now = t_next
             # Handle all events at t_next.
-            while self._arrivals and self._arrivals[0][0] <= self.now + 1e-12:
+            while self._arrivals and self._arrivals[0][0] <= self.now + TIME_EPS:
                 _t, _s, flow = heapq.heappop(self._arrivals)
-                self.flows.append(flow)
-            while self._injected and self._injected[0][0] <= self.now + 1e-12:
+                self._admit(flow)
+                self.arrivals_processed += 1
+                self._dirty = True
+            while self._injected and self._injected[0][0] <= self.now + TIME_EPS:
                 _t, _s, callback = heapq.heappop(self._injected)
                 callback()
-            for flow in self._active():
-                if flow.remaining_bits <= 1e-6 and flow.start_s <= self.now:
+                self.injections_processed += 1
+                self._dirty = True
+            still: List[Flow] = []
+            for flow in self._active:
+                if (
+                    flow.remaining_bits <= flow.size_bits * FINISH_EPS_REL
+                    and flow.start_s <= self.now
+                ):
                     flow.finished_at = self.now
                     flow.rate_bps = 0.0
                     self.completed.append(flow)
+                    self._dirty = True
+                else:
+                    still.append(flow)
+            self._active = still
             # Loop exit is handled at the top: with no arrivals, no
             # injected events and no flow able to finish (all stalled),
             # the candidate list comes up empty and we break.
@@ -360,12 +535,12 @@ class FluidSimulator:
         dt = t_next - self.now
         if dt <= 0:
             return
-        for flow in self._active():
+        for flow in self._active:
             if flow.rate_bps > 0:
                 flow.remaining_bits = max(0.0, flow.remaining_bits - flow.rate_bps * dt)
         if record is not None and record_key is not None:
             sums: Dict[Hashable, float] = {}
-            for flow in self._active():
+            for flow in self._recordable_flows():
                 key = record_key(flow)
                 if key is not None:
                     sums[key] = sums.get(key, 0.0) + flow.rate_bps
@@ -381,3 +556,28 @@ class FluidSimulator:
         if pending or not finished:
             return None
         return max(finished)
+
+    # ------------------------------------------------------------------
+
+    def report(self) -> FluidReport:
+        """Engine counters as a :class:`~repro.obs.report.ReportBase`."""
+        active = self._active
+        return FluidReport(
+            {
+                "kind": "fluid-report",
+                "now": self.now,
+                "policy": type(self.policy).__name__,
+                "flows": {
+                    "total": len(self.flows),
+                    "active": len(active),
+                    "completed": len(self.completed),
+                    "stalled": sum(1 for f in active if f.stalled),
+                    "queued_arrivals": len(self._arrivals),
+                },
+                "epochs": self.epochs,
+                "recomputes": self.recomputes,
+                "recompute_skips": self.recompute_skips,
+                "arrivals_processed": self.arrivals_processed,
+                "injections_processed": self.injections_processed,
+            }
+        )

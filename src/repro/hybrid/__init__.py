@@ -1,0 +1,15 @@
+"""Hybrid-fidelity dataplane: fluid flows by default, packet-level
+zoom on a region of interest (see DESIGN.md, "Hybrid-fidelity
+dataplane")."""
+
+from .engine import HybridEngine, build_engine
+from .packet_region import PacketRegion, ZoomFlow
+from .roi import RegionOfInterest
+
+__all__ = [
+    "HybridEngine",
+    "build_engine",
+    "PacketRegion",
+    "ZoomFlow",
+    "RegionOfInterest",
+]

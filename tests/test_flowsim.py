@@ -3,6 +3,8 @@
 import math
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.flowsim import (
     FairnessError,
@@ -251,6 +253,126 @@ class TestFluidSimulator:
         sim.run()
         assert sim.completion_time("job") == pytest.approx(2.0)
         assert sim.completion_time("nothing") is None
+
+
+class TestFinishEpsilon:
+    def test_tiny_flow_not_finished_early_by_coincident_event(self):
+        """Regression: the finish threshold used to be an absolute
+        ``remaining_bits <= 1e-6``, so a sub-microbit flow was declared
+        done at any coincident event while it still had half its bits
+        to move.  The threshold is now relative to the flow size."""
+        topo = line(2)
+        net = FlowNet(topo, link_bps=1e9, host_bps=1e9)
+        sim = FluidSimulator(net, SingleShortestPolicy())
+        # 2e-6 bits at a 1 bps demand cap: 2 microseconds of work.
+        flow = sim.add_flow("hL0_0", "hL1_0", 2e-6, demand_bps=1.0)
+        # An unrelated event halfway through leaves 1e-6 bits remaining
+        # -- under the old absolute cutoff that "finished" the flow.
+        sim.at(1e-6, lambda: None)
+        sim.run()
+        assert flow.done
+        assert flow.finished_at == pytest.approx(2e-6, rel=1e-9)
+
+    def test_normal_flow_completion_unchanged(self):
+        topo = line(2)
+        net = FlowNet(topo, link_bps=1e9, host_bps=1e9)
+        sim = FluidSimulator(net, SingleShortestPolicy())
+        flow = sim.add_flow("hL0_0", "hL1_0", 1e9)
+        sim.run()
+        assert flow.finished_at == pytest.approx(1.0)
+
+
+class TestActiveSet:
+    def test_finished_flows_leave_the_active_set(self):
+        topo = line(2, hosts_per_switch=2)
+        net = FlowNet(topo, link_bps=1e9, host_bps=1e9)
+        sim = FluidSimulator(net, SingleShortestPolicy())
+        sim.add_flow("hL0_0", "hL1_0", 1e8, start_s=0.0)
+        sim.add_flow("hL0_1", "hL1_1", 1e8, start_s=1.0)
+        sim.run()
+        # The record of every flow survives; the hot set drains.
+        assert len(sim.flows) == 2
+        assert sim._active == []
+        assert all(f.done for f in sim.flows)
+
+    def test_report_counters(self):
+        topo = line(2, hosts_per_switch=2)
+        net = FlowNet(topo, link_bps=1e9, host_bps=1e9)
+        sim = FluidSimulator(net, SingleShortestPolicy())
+        sim.add_flow("hL0_0", "hL1_0", 1e8)
+        sim.add_flow("hL0_1", "hL1_1", 1e8)
+        sim.run()
+        report = sim.report().as_dict()
+        assert report["kind"] == "fluid-report"
+        assert report["flows"]["total"] == 2
+        assert report["flows"]["completed"] == 2
+        assert report["flows"]["active"] == 0
+        assert report["recomputes"] >= 1
+        assert report["epochs"] >= report["recomputes"]
+        assert "fluid" in sim.report().summary()
+
+
+class TestFluidProperties:
+    """Hypothesis invariants: conservation and capacity."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        specs=st.lists(
+            st.tuples(
+                st.floats(min_value=1e3, max_value=5e8),  # size (bits)
+                st.floats(min_value=0.0, max_value=0.5),  # start (s)
+                st.integers(min_value=0, max_value=3),    # src host
+                st.integers(min_value=0, max_value=3),    # dst host
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        fail_window=st.one_of(
+            st.none(),
+            st.tuples(
+                st.floats(min_value=0.0, max_value=0.5),   # fail at
+                st.floats(min_value=0.01, max_value=0.5),  # down for
+            ),
+        ),
+    )
+    def test_conservation_and_capacity(self, specs, fail_window):
+        topo = line(2, hosts_per_switch=4)
+        net = FlowNet(topo, link_bps=1e9, host_bps=1e9)
+        sim = FluidSimulator(net, SingleShortestPolicy())
+        flows = [
+            sim.add_flow(f"hL0_{s}", f"hL1_{d}", size, start_s=start)
+            for size, start, s, d in specs
+        ]
+        if fail_window is not None:
+            t_fail, down_for = fail_window
+            link = topo.links[0]
+            a, b = link.endpoints
+            args = (a.switch, a.port, b.switch, b.port)
+            sim.at(t_fail, lambda: net.fail_link(*args))
+            sim.at(t_fail + down_for, lambda: net.restore_link(*args))
+        record = {}
+        sim.run(until=30.0, record=record, record_key=lambda f: f.fid)
+
+        # Conservation: a completed flow delivered exactly its size.
+        for flow in flows:
+            if flow.done:
+                series = record.get(flow.fid)
+                assert series is not None
+                assert series.delivered_bits() == pytest.approx(
+                    flow.size_bits, rel=1e-6, abs=1.0
+                )
+
+        # Capacity: every L0->L1 flow crosses the one inter-switch
+        # cable, so the aggregate recorded rate over any interval may
+        # never exceed its 1 Gbps.  Per-epoch segments share interval
+        # boundaries, so summing per (t0, t1) reconstructs the
+        # aggregate series exactly.
+        aggregate = {}
+        for series in record.values():
+            for t0, t1, bps in series.segments:
+                aggregate[(t0, t1)] = aggregate.get((t0, t1), 0.0) + bps
+        for (t0, t1), bps in aggregate.items():
+            assert bps <= 1e9 * (1 + 1e-9), f"overcommit in [{t0}, {t1}]"
 
 
 class TestThroughputSeries:
