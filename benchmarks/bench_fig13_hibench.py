@@ -23,15 +23,14 @@ if __name__ == "__main__":  # standalone CLI: repo src + sibling _util
 import pytest
 
 from repro.analysis import render_table
-from repro.flowsim import (
-    FlowNet,
-    HashedKPathPolicy,
-    RebalancingKPathPolicy,
-    SingleShortestPolicy,
-)
-from repro.hybrid import build_engine
 from repro.topology import paper_testbed
-from repro.workloads import HIBENCH_TASKS, hibench_task, run_task
+from repro.workloads import (
+    HIBENCH_TASKS,
+    HiBenchWorkload,
+    Scenario,
+    legacy_task_rng,
+    run_scenario,
+)
 
 from _util import publish
 
@@ -41,36 +40,48 @@ SPINE_PORT_BPS = 500e6  # "we limit spine switch port speed to 500 Mbps"
 #: which a network simulator does not model).
 TASK_SCALE = 4.0
 
+#: Series name -> (TE mechanism, mechanism options).  The same names
+#: :func:`repro.core.te.make_flow_policy` resolves, so the bench can no
+#: longer drift from what "flowlet" means elsewhere.
 POLICIES = {
-    "DumbNet": lambda: RebalancingKPathPolicy(k=4),
-    "DumbNet Single Path": lambda: SingleShortestPolicy(),
-    "No-op DPDK": lambda: HashedKPathPolicy(k=2, seed=7),
+    "DumbNet": ("flowlet", {"k": 4}),
+    "DumbNet Single Path": ("single", {}),
+    "No-op DPDK": ("ecmp", {"k": 2, "seed": 7}),
 }
+
+#: The seed the legacy ``hibench_task(..., seed=11)`` call used; fed
+#: through :func:`repro.workloads.legacy_task_rng` so the migrated
+#: matrix replays the exact same task DAGs.
+TASK_SEED = 11
 
 
 def run_matrix(engine="fluid", roi=None, tasks=None, scale=TASK_SCALE):
     """Task-duration matrix across the three path policies.
 
-    ``engine``/``roi`` select the dataplane fidelity per
-    :func:`repro.hybrid.build_engine` (the default is the plain fluid
-    simulator, unchanged).
+    One :func:`repro.workloads.run_scenario` call per cell;
+    ``engine``/``roi`` select the dataplane fidelity (the default is
+    the plain fluid simulator, unchanged).
     """
-    topo = paper_testbed()
     durations = {}
-    for policy_name, policy_factory in POLICIES.items():
+    for policy_name, (te, te_kwargs) in POLICIES.items():
         for task_name in tasks or HIBENCH_TASKS:
-            net = FlowNet(
-                topo,
+            scenario = Scenario(
+                HiBenchWorkload(task_name, scale=scale),
+                te=te,
+                engine=engine,
+                topology=paper_testbed,
+                te_kwargs=te_kwargs,
                 link_bps=10e9,
                 host_bps=10e9,
-                switch_overrides={"spine0": SPINE_PORT_BPS, "spine1": SPINE_PORT_BPS},
-            )
-            sim = build_engine(
-                topo, engine, roi=roi, policy=policy_factory(), net=net,
+                switch_overrides={
+                    "spine0": SPINE_PORT_BPS,
+                    "spine1": SPINE_PORT_BPS,
+                },
+                roi=roi,
                 rebalance_interval_s=0.05,
             )
-            task = hibench_task(task_name, topo.hosts, seed=11, scale=scale)
-            durations[(policy_name, task_name)] = run_task(sim, task)
+            run = run_scenario(scenario, rng=legacy_task_rng(TASK_SEED, task_name))
+            durations[(policy_name, task_name)] = run.result.duration_s
     return durations
 
 

@@ -24,10 +24,9 @@ if __name__ == "__main__":  # standalone CLI: repo src + sibling _util
 import pytest
 
 from repro.analysis import render_table
-from repro.flowsim import FlowNet, RebalancingKPathPolicy
 from repro.hardware import DUMBNET, MPLS_ONLY, NOOP_DPDK
-from repro.hybrid import build_engine
 from repro.topology import leaf_spine
+from repro.workloads import FixedPairs, Scenario, run_scenario
 
 from _util import publish
 
@@ -45,22 +44,28 @@ def aggregate_leaf_throughput(engine="fluid", roi=None):
     leaf0 blast a peer on leaf1.  Uplink capacity caps the total at
     20 Gbps; per-host stacks cap each sender at the DumbNet rate.
 
-    ``engine`` selects the dataplane fidelity (fluid/hybrid/packet,
-    see :func:`repro.hybrid.build_engine`); ``roi`` is the promoted
-    region for ``engine="hybrid"``.
+    One :func:`repro.workloads.run_scenario` call: the fixed-pair
+    matrix under flowlet TE (k=2, the testbed's two uplinks) at the
+    requested fidelity.  ``goodput_bps`` is exactly the old
+    ``total_bits / completion_time`` headline.
     """
-    topo = leaf_spine(spines=2, leaves=2, hosts_per_leaf=14, num_ports=64)
-    net = FlowNet(topo, link_bps=10e9, host_bps=DUMBNET.throughput_bps())
-    sim = build_engine(
-        topo, engine, roi=roi, policy=RebalancingKPathPolicy(k=2), net=net
+    scenario = Scenario(
+        FixedPairs(
+            [(f"h0_{i}", f"h1_{i}") for i in range(14)],
+            size_bits=1e9,
+            tag="agg",
+        ),
+        te="flowlet",
+        engine=engine,
+        topology=lambda: leaf_spine(
+            spines=2, leaves=2, hosts_per_leaf=14, num_ports=64
+        ),
+        te_kwargs={"k": 2},
+        link_bps=10e9,
+        host_bps=DUMBNET.throughput_bps(),
+        roi=roi,
     )
-    total_bits = 0.0
-    for i in range(14):
-        sim.add_flow(f"h0_{i}", f"h1_{i}", 1e9, tag="agg")
-        total_bits += 1e9
-    sim.run()
-    duration = sim.completion_time("agg")
-    return total_bits / duration
+    return run_scenario(scenario).result.goodput_bps
 
 
 def test_fig9_throughput(benchmark):

@@ -1,15 +1,16 @@
 #!/usr/bin/env python3
 """Flowlet-based traffic engineering (Section 6.2 + Figure 13 story).
 
-Two views of the same extension:
+Two views of the same extension, both selected through the one
+first-class TE knob (``te="flowlet"`` -- see :mod:`repro.core.te`):
 
-1. **Packet level** -- install the flowlet routing function on a live
-   emulated agent and watch one large flow spread its flowlets across
-   all four spines.
-2. **Flow level** -- run a HiBench-analogue Terasort shuffle over the
-   fluid simulator under three policies (flowlet rebalancing, ECMP
-   hashing, single path) and compare completion times, the Figure 13
-   comparison.
+1. **Packet level** -- bring up a fabric with
+   ``DumbNetFabric.from_topology(..., te="flowlet")`` and watch one
+   large flow spread its flowlets across all four spines.
+2. **Flow level** -- run a HiBench-analogue Terasort shuffle through
+   :func:`repro.workloads.run_scenario` under three TE mechanisms
+   (flowlet rebalancing, ECMP hashing, single path) and compare
+   completion times, the Figure 13 comparison.
 
 Run:  python examples/traffic_engineering.py
 """
@@ -17,27 +18,30 @@ Run:  python examples/traffic_engineering.py
 from collections import Counter
 
 from repro.core.fabric import DumbNetFabric
-from repro.core.flowlet import install_flowlet_routing
-from repro.flowsim import (
-    FlowNet,
-    FluidSimulator,
-    HashedKPathPolicy,
-    RebalancingKPathPolicy,
-    SingleShortestPolicy,
-)
 from repro.topology import leaf_spine, paper_testbed
-from repro.workloads import hibench_task, run_task
+from repro.workloads import (
+    HiBenchWorkload,
+    Scenario,
+    legacy_task_rng,
+    run_scenario,
+)
 
 
 def packet_level_demo() -> None:
     print("Packet level: one flow, many flowlets, four spines")
     topo = leaf_spine(spines=4, leaves=2, hosts_per_leaf=2, num_ports=32)
-    fabric = DumbNetFabric(topo, controller_host="h0_0", seed=5)
-    fabric.adopt_blueprint()
+    fabric = DumbNetFabric.from_topology(
+        topo,
+        bootstrap="blueprint",
+        te="flowlet",
+        te_kwargs={"gap_s": 1e-6},
+        controller_host="h0_0",
+        seed=5,
+    )
     fabric.warm_paths([("h0_1", "h1_1")])
 
     agent = fabric.agents["h0_1"]
-    router = install_flowlet_routing(agent, gap_s=1e-6)
+    router = fabric.te_routers["h0_1"]
 
     spine_use = Counter()
     original = agent.send_tagged
@@ -61,21 +65,23 @@ def packet_level_demo() -> None:
 
 def flow_level_demo() -> None:
     print("\nFlow level: Terasort shuffle on the testbed, 500 Mbps spines")
-    topo = paper_testbed()
-    policies = {
-        "DumbNet flowlet TE": RebalancingKPathPolicy(k=4),
-        "Conventional ECMP": HashedKPathPolicy(k=2, seed=3),
-        "Single path": SingleShortestPolicy(),
+    mechanisms = {
+        "DumbNet flowlet TE": ("flowlet", {"k": 4}),
+        "Conventional ECMP": ("ecmp", {"k": 2, "seed": 3}),
+        "Single path": ("single", {}),
     }
-    for name, policy in policies.items():
-        net = FlowNet(
-            topo, link_bps=10e9, host_bps=10e9,
+    for name, (te, te_kwargs) in mechanisms.items():
+        scenario = Scenario(
+            HiBenchWorkload("Terasort", scale=0.25),
+            te=te,
+            topology=paper_testbed,
+            te_kwargs=te_kwargs,
+            link_bps=10e9,
+            host_bps=10e9,
             switch_overrides={"spine0": 500e6, "spine1": 500e6},
         )
-        sim = FluidSimulator(net, policy)
-        task = hibench_task("Terasort", topo.hosts, seed=7, scale=0.25)
-        duration = run_task(sim, task)
-        print(f"  {name:22s} {duration:8.1f} s")
+        run = run_scenario(scenario, rng=legacy_task_rng(7, "Terasort"))
+        print(f"  {name:22s} {run.result.duration_s:8.1f} s")
 
 
 def main() -> None:

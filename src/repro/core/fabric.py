@@ -13,7 +13,7 @@ through it.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..netsim.device import Device
 from ..netsim.network import LinkSpec, Network
@@ -182,6 +182,10 @@ class DumbNetFabric:
         #: the native packet-level emulation.
         self.engine = "packet"
         self.dataplane = None
+        #: TE mechanism name installed via ``from_topology(te=...)``
+        #: (None = default routing), and its per-host packet routers.
+        self.te: Optional[str] = None
+        self.te_routers: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # construction conveniences
@@ -197,6 +201,8 @@ class DumbNetFabric:
         roi=None,
         flow_policy=None,
         flow_net=None,
+        te: Optional[str] = None,
+        te_kwargs: Optional[Dict[str, Any]] = None,
         **kwargs,
     ) -> "DumbNetFabric":
         """Build a fabric and bring it live in one call.
@@ -218,6 +224,16 @@ class DumbNetFabric:
         ``flow_policy``/``flow_net`` override the path policy and
         capacity graph.  Remaining keyword arguments go to the
         constructor.
+
+        ``te`` selects a traffic-engineering mechanism by name
+        (``"flowlet"``, ``"ecmp"``, ``"spray"``, ``"ecn"``,
+        ``"single"`` -- see :mod:`repro.core.te`) at whichever fidelity
+        the fabric runs: on ``engine="packet"`` it installs the
+        mechanism's routing function on every host agent (inspect the
+        routers via ``fabric.te_routers``); on fluid/hybrid it supplies
+        the dataplane's path policy (mutually exclusive with
+        ``flow_policy``).  ``te_kwargs`` tunes the mechanism (``k``,
+        flowlet ``gap_s``, ECN thresholds...).
         """
         if engine not in ("packet", "fluid", "hybrid"):
             raise ValueError(
@@ -229,14 +245,25 @@ class DumbNetFabric:
             raise ValueError(
                 "roi/flow_policy/flow_net only apply to engine='fluid'|'hybrid'"
             )
+        if te is not None and flow_policy is not None:
+            raise ValueError("pass either te= or flow_policy=, not both")
         fabric = cls(topology, **kwargs)
         if engine != "packet":
             from ..hybrid.engine import build_engine
 
+            if te is not None:
+                from .te import make_flow_policy
+
+                flow_policy = make_flow_policy(te, **(te_kwargs or {}))
             fabric.dataplane = build_engine(
                 topology, engine, roi=roi, policy=flow_policy, net=flow_net
             )
             fabric.engine = engine
+        fabric.te = te
+        if engine == "packet" and te is not None:
+            from .te import install_packet_te
+
+            fabric.te_routers = install_packet_te(fabric, te, **(te_kwargs or {}))
         if bootstrap == "discover":
             fabric.bootstrap()
         elif bootstrap == "blueprint":

@@ -2,6 +2,7 @@
 
 from .maxmin import FairnessError, max_min_rates
 from .network import FlowNet
+from .policies import EcnAwareKPathPolicy, SprayKPathPolicy
 from .simulator import (
     Flow,
     FluidReport,
@@ -24,5 +25,7 @@ __all__ = [
     "SingleShortestPolicy",
     "HashedKPathPolicy",
     "RebalancingKPathPolicy",
+    "SprayKPathPolicy",
+    "EcnAwareKPathPolicy",
     "ThroughputSeries",
 ]

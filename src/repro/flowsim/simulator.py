@@ -110,6 +110,13 @@ class Flow:
 class PathPolicy:
     """Chooses (and re-chooses after failures) a flow's switch path."""
 
+    #: Cumulative count of active-flow path migrations (the scorecard's
+    #: reroute metric).  Policies that never migrate leave it at 0.
+    reroutes: int = 0
+    #: Fluid model of per-packet spraying: the scenario runner splits
+    #: every request into this many equal subflows.  1 = no splitting.
+    subflows: int = 1
+
     def choose(self, net: FlowNet, flow: Flow) -> Optional[List[str]]:
         raise NotImplementedError
 
@@ -156,6 +163,7 @@ class RebalancingKPathPolicy(PathPolicy):
         #: A flow only migrates when the alternative is this much less
         #: loaded, which damps oscillation.
         self.headroom = headroom
+        self.reroutes = 0
         self._load: Dict[Tuple, int] = {}
 
     def _path_load(self, net: FlowNet, src: str, path: List[str], dst: str) -> float:
@@ -213,6 +221,7 @@ class RebalancingKPathPolicy(PathPolicy):
                     for link in new_links:
                         self._load[link] = self._load.get(link, 0) + 1
                 flow.switch_path = best
+                self.reroutes += 1
                 changed = True
         return changed
 

@@ -24,12 +24,23 @@ seed) so skew exists but shapes dominate.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..flowsim.simulator import FluidSimulator
+from .api import FlowProgram, FlowSpec, Phase, Workload, replay_program
 
-__all__ = ["Stage", "TaskSpec", "hibench_task", "run_task", "HIBENCH_TASKS"]
+__all__ = [
+    "Stage",
+    "TaskSpec",
+    "HiBenchWorkload",
+    "hibench_task",
+    "legacy_task_rng",
+    "run_task",
+    "task_program",
+    "HIBENCH_TASKS",
+]
 
 HIBENCH_TASKS = ("Aggregation", "Join", "Pagerank", "Terasort", "Wordcount")
 
@@ -74,6 +85,18 @@ def _shuffle_flows(
     return tuple(flows)
 
 
+def legacy_task_rng(seed: int, name: str) -> random.Random:
+    """The generator :func:`hibench_task` has always seeded from.
+
+    Kept as a named helper because the derivation hashes a *string*
+    (process-salted unless ``PYTHONHASHSEED`` is pinned): migrated
+    callers that must reproduce a legacy task byte-for-byte in the same
+    process pass ``rng=legacy_task_rng(seed, name)`` to the Workload
+    path.  New code should seed a plain ``random.Random(int)`` instead.
+    """
+    return random.Random((seed, name).__hash__())
+
+
 def hibench_task(
     name: str,
     hosts: Sequence[str],
@@ -81,11 +104,20 @@ def hibench_task(
     scale: float = 1.0,
 ) -> TaskSpec:
     """Build one of the five task DAGs over the given worker hosts."""
+    return _build_task(name, hosts, legacy_task_rng(seed, name), scale)
+
+
+def _build_task(
+    name: str,
+    hosts: Sequence[str],
+    rng: random.Random,
+    scale: float,
+) -> TaskSpec:
+    """The DAG builder proper: all randomness from the caller's rng."""
     if name not in HIBENCH_TASKS:
         raise ValueError(f"unknown HiBench task {name!r}; pick from {HIBENCH_TASKS}")
     if len(hosts) < 2:
         raise ValueError("need at least two worker hosts")
-    rng = random.Random((seed, name).__hash__())
     unit = _UNIT_BITS * scale
     half = max(1, len(hosts) // 2)
     mappers = list(hosts)
@@ -122,23 +154,68 @@ def hibench_task(
     return TaskSpec(name=name, stages=stages)
 
 
+def task_program(task: TaskSpec) -> FlowProgram:
+    """A :class:`TaskSpec` as a unified :class:`FlowProgram`: one phase
+    per stage, every stage flow tagged ``(task, stage)`` exactly as
+    :func:`run_task` always tagged them."""
+    return FlowProgram(
+        phases=tuple(
+            Phase(
+                stage.name,
+                tuple(
+                    FlowSpec(0.0, src, dst, bits, tag=(task.name, stage.name))
+                    for src, dst, bits in stage.flows
+                ),
+            )
+            for stage in task.stages
+        )
+    )
+
+
+class HiBenchWorkload(Workload):
+    """One HiBench task DAG behind the :class:`Workload` protocol.
+
+    ``program`` builds the task's stages from the caller's rng (no
+    embedded seed) over the topology's hosts and returns the staged
+    :class:`FlowProgram`; phases are MapReduce barriers.
+    """
+
+    def __init__(
+        self,
+        task: str,
+        *,
+        scale: float = 1.0,
+        hosts: Optional[Sequence[str]] = None,
+    ) -> None:
+        if task not in HIBENCH_TASKS:
+            raise ValueError(
+                f"unknown HiBench task {task!r}; pick from {HIBENCH_TASKS}"
+            )
+        self.name = f"hibench-{task.lower()}"
+        self.task = task
+        self.scale = scale
+        self.hosts = hosts
+
+    def program(self, topology, *, rng: random.Random) -> FlowProgram:
+        hosts = list(self.hosts) if self.hosts is not None else list(topology.hosts)
+        return task_program(_build_task(self.task, hosts, rng, self.scale))
+
+    def describe(self) -> Dict[str, object]:
+        return {"name": self.name, "task": self.task, "scale": self.scale}
+
+
 def run_task(simulator: FluidSimulator, task: TaskSpec) -> float:
-    """Run a task's stages back to back; returns total duration (s).
+    """Deprecated shim: replay a task via the unified program runner.
 
     Stages are barriers: stage i+1's flows are released when the last
     flow of stage i completes, matching MapReduce stage semantics.
+    Flow admission order, start times, tags and the returned duration
+    are byte-identical to the pre-unification loop.
     """
-    start = simulator.now
-    t = start
-    for stage in task.stages:
-        tag = (task.name, stage.name)
-        for src, dst, bits in stage.flows:
-            simulator.add_flow(src, dst, bits, start_s=t, tag=tag)
-        simulator.run()
-        done = simulator.completion_time(tag)
-        if done is None:
-            raise RuntimeError(
-                f"stage {stage.name!r} of {task.name} stalled (disconnected fabric?)"
-            )
-        t = done
-    return t - start
+    warnings.warn(
+        "run_task() is deprecated; use run_scenario() with a "
+        "HiBenchWorkload, or replay_program(sim, task_program(task))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return replay_program(simulator, task_program(task)).duration_s

@@ -10,23 +10,40 @@ fluid simulator.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..core.fabric import DumbNetFabric
 from ..flowsim.simulator import FluidSimulator
+from .api import FlowProgram, FlowSpec, Phase, replay_program
 
 __all__ = ["IncastSpec", "incast_flows", "run_incast_fluid", "drive_incast_packets"]
 
 
 @dataclass(frozen=True)
 class IncastSpec:
-    """One incast round: senders, the sink, and per-sender volume."""
+    """One incast round: senders, the sink, and per-sender volume.
+
+    Single rounds predate the unified suite; new code sweeps fan-ins
+    via :class:`repro.workloads.IncastSweep`.  :meth:`program` bridges
+    a spec into the unified runner with the exact legacy flow order and
+    tag.
+    """
 
     sink: str
     senders: Tuple[str, ...]
     bits_per_sender: float
     start_s: float = 0.0
+
+    def program(self) -> FlowProgram:
+        """This round as a one-phase :class:`FlowProgram`."""
+        tag = ("incast", self.sink, self.start_s)
+        flows = tuple(
+            FlowSpec(self.start_s, sender, self.sink, self.bits_per_sender, tag=tag)
+            for sender in self.senders
+        )
+        return FlowProgram.open_loop(flows, name="incast-round")
 
 
 def incast_flows(
@@ -36,10 +53,22 @@ def incast_flows(
     rng: Optional[random.Random] = None,
     start_s: float = 0.0,
 ) -> IncastSpec:
-    """Pick a sink and ``fanin`` senders from the host list."""
+    """Deprecated shim: pick a sink and ``fanin`` senders from the list.
+
+    Use :class:`repro.workloads.IncastSweep` with an explicit seeded
+    rng; this shim keeps the legacy hidden-``Random(0)`` default so
+    pre-unification callers see identical draws.
+    """
     if len(hosts) < fanin + 1:
         raise ValueError(f"need {fanin + 1} hosts, got {len(hosts)}")
-    rng = rng or random.Random(0)
+    if rng is None:
+        warnings.warn(
+            "incast_flows() without an explicit rng uses a hidden "
+            "random.Random(0); pass a seeded rng (or use IncastSweep)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        rng = random.Random(0)
     chosen = rng.sample(list(hosts), fanin + 1)
     return IncastSpec(
         sink=chosen[0],
@@ -50,21 +79,23 @@ def incast_flows(
 
 
 def run_incast_fluid(simulator: FluidSimulator, spec: IncastSpec) -> float:
-    """Run one incast round in the fluid simulator; returns duration.
+    """Deprecated shim: run one round via the unified program runner.
 
     With N senders into one NIC, the ideal duration is
-    N * bits_per_sender / NIC rate -- tests assert the simulator hits it.
+    N * bits_per_sender / NIC rate -- tests assert the simulator hits
+    it.  Admission order, start times, tags and the returned duration
+    are byte-identical to the pre-unification loop.
     """
-    tag = ("incast", spec.sink, spec.start_s)
-    for sender in spec.senders:
-        simulator.add_flow(
-            sender, spec.sink, spec.bits_per_sender, start_s=spec.start_s, tag=tag
-        )
-    simulator.run()
-    done = simulator.completion_time(tag)
-    if done is None:
+    warnings.warn(
+        "run_incast_fluid() is deprecated; use run_scenario() with an "
+        "IncastSweep, or replay_program(sim, spec.program())",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    result = replay_program(simulator, spec.program(), base_s=0.0)
+    if not result.fcts:
         raise RuntimeError("incast stalled: sink unreachable?")
-    return done - spec.start_s
+    return result.fcts[0]
 
 
 def drive_incast_packets(

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import bisect
 import random
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -98,13 +99,13 @@ def mean_flow_bits(cdf: Sequence[Tuple[float, float]]) -> float:
 
 @dataclass
 class TraceWorkload:
-    """A trace-driven open-loop workload over a set of hosts.
+    """Deprecated shim: use :class:`repro.workloads.TraceReplay`.
 
-    Flows arrive as a Poisson process; each flow picks a uniform random
-    (src, dst) pair and draws its size from the distribution.  ``load``
-    is expressed as the target aggregate arrival rate in bits/s; the
-    generator converts it into a flow arrival rate via the
-    distribution's mean.
+    The old trace-driven open-loop convention (embedded seed, bare
+    4-tuple rows).  :meth:`flows` now delegates to
+    :class:`~repro.workloads.suite.TraceReplay` -- same draws in the
+    same order, so pinned-seed rows are byte-identical to the
+    pre-unification generator.
     """
 
     hosts: Sequence[str]
@@ -115,12 +116,23 @@ class TraceWorkload:
 
     def flows(self) -> List[Tuple[float, str, str, float]]:
         """(start time, src, dst, size bits) rows, time-ordered."""
-        if len(self.hosts) < 2:
-            raise ValueError("need at least two hosts")
-        rng = random.Random(self.seed)
-        rate = self.load_bps / mean_flow_bits(self.cdf)
-        rows: List[Tuple[float, str, str, float]] = []
-        for start in poisson_arrivals(rng, rate, self.duration_s):
-            src, dst = rng.sample(list(self.hosts), 2)
-            rows.append((start, src, dst, sample_flow_bits(rng, self.cdf)))
-        return rows
+        warnings.warn(
+            "TraceWorkload is deprecated; use repro.workloads.TraceReplay "
+            "with an explicit rng (its .program() feeds run_scenario)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from .suite import TraceReplay
+
+        workload = TraceReplay(
+            self.cdf,
+            load_bps=self.load_bps,
+            duration_s=self.duration_s,
+            hosts=self.hosts,
+        )
+        program = workload.program(None, rng=random.Random(self.seed))
+        return [
+            (f.start_s, f.src, f.dst, f.size_bits)
+            for phase in program.phases
+            for f in phase.flows
+        ]
